@@ -1,0 +1,113 @@
+// M1 — substrate microbenchmarks (google-benchmark).
+//
+// Costs of the building blocks everything else runs on: the deterministic
+// scheduler's step dispatch, compare&swap-(k) operations, the AADGMS atomic
+// snapshot as a function of component count, and the emulation board's
+// label-compatibility reads.
+#include <benchmark/benchmark.h>
+
+#include "emulation/board.h"
+#include "registers/cas_register_k.h"
+#include "registers/snapshot.h"
+#include "runtime/scheduler.h"
+#include "runtime/sim_env.h"
+#include "util/checked.h"
+
+namespace {
+
+void BM_SimStepDispatch(benchmark::State& state) {
+  const int ops = bss::checked_cast<int>(state.range(0));
+  for (auto _ : state) {
+    bss::sim::SimEnv env({.record_trace = false});
+    bss::sim::CasRegisterK cas("c", 4);
+    env.add_process([&, ops](bss::sim::Ctx& ctx) {
+      for (int i = 0; i < ops; ++i) (void)cas.read(ctx);
+    });
+    bss::sim::RoundRobinScheduler scheduler;
+    const auto report = env.run(scheduler);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * ops);
+}
+BENCHMARK(BM_SimStepDispatch)->Arg(1000)->Arg(10000);
+
+void BM_CasRegisterOps(benchmark::State& state) {
+  const int ops = bss::checked_cast<int>(state.range(0));
+  for (auto _ : state) {
+    bss::sim::SimEnv env({.record_trace = false});
+    bss::sim::CasRegisterK cas("c", 8);
+    env.add_process([&, ops](bss::sim::Ctx& ctx) {
+      int value = 0;
+      for (int i = 0; i < ops; ++i) {
+        const int next = (value + 1) % 8;
+        (void)cas.compare_and_swap(ctx, value, next);
+        value = next;
+      }
+    });
+    bss::sim::RoundRobinScheduler scheduler;
+    env.run(scheduler);
+  }
+  state.SetItemsProcessed(state.iterations() * ops);
+}
+BENCHMARK(BM_CasRegisterOps)->Arg(1000);
+
+void BM_SnapshotScan(benchmark::State& state) {
+  const int components = bss::checked_cast<int>(state.range(0));
+  std::uint64_t reads = 0;
+  std::uint64_t scans = 0;
+  for (auto _ : state) {
+    bss::sim::SimEnv env({.record_trace = false});
+    bss::sim::AtomicSnapshot snapshot("s", components);
+    env.add_process([&](bss::sim::Ctx& ctx) {
+      for (int round = 0; round < 20; ++round) {
+        snapshot.update(ctx, 0, round);
+        (void)snapshot.scan(ctx);
+        reads += snapshot.reads_in_last_scan(ctx.pid());
+        ++scans;
+      }
+    });
+    bss::sim::RoundRobinScheduler scheduler;
+    env.run(scheduler);
+  }
+  state.counters["reads/scan"] = benchmark::Counter(
+      scans == 0 ? 0 : static_cast<double>(reads) / static_cast<double>(scans));
+}
+BENCHMARK(BM_SnapshotScan)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_SnapshotScanContended(benchmark::State& state) {
+  const int writers = bss::checked_cast<int>(state.range(0));
+  for (auto _ : state) {
+    bss::sim::SimEnv env({.record_trace = false});
+    bss::sim::AtomicSnapshot snapshot("s", writers + 1);
+    env.add_process([&](bss::sim::Ctx& ctx) {
+      for (int i = 0; i < 10; ++i) (void)snapshot.scan(ctx);
+    });
+    for (int w = 0; w < writers; ++w) {
+      env.add_process([&, w](bss::sim::Ctx& ctx) {
+        for (int i = 1; i <= 10; ++i) snapshot.update(ctx, w + 1, i);
+      });
+    }
+    bss::sim::RandomScheduler scheduler(5);
+    env.run(scheduler);
+  }
+}
+BENCHMARK(BM_SnapshotScanContended)->Arg(2)->Arg(6);
+
+void BM_BoardRead(benchmark::State& state) {
+  const int entries = bss::checked_cast<int>(state.range(0));
+  bss::emu::Board board;
+  bss::emu::Label deep{0};
+  for (int i = 1; i < 4; ++i) deep.push_back(i);
+  for (int i = 0; i < entries; ++i) {
+    board.write("r", i % 2 == 0 ? bss::emu::Label{0} : deep, i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(board.read("r", deep));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BoardRead)->Arg(16)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+#include "checker/bivalence.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/checked.h"
+
+namespace bss::check {
+
+namespace {
+
+struct Node {
+  std::vector<int> words;        // shared ++ locals ++ decisions(+2)
+  std::vector<int> successors;   // node ids
+  std::set<int> decided_values;  // decisions present in this very state
+};
+
+}  // namespace
+
+std::string ValencyReport::summary() const {
+  std::ostringstream out;
+  out << total_states << " states: " << bivalent_states << " bivalent, "
+      << univalent_states << " univalent, " << null_valent_states
+      << " null-valent; initial "
+      << (initial_bivalent ? "bivalent" : "univalent");
+  if (critical_state >= 0) out << "; critical state #" << critical_state;
+  return out.str();
+}
+
+ValencyReport analyze_valency(const Protocol& protocol,
+                              const std::vector<int>& inputs,
+                              std::uint64_t max_states) {
+  const int n = protocol.process_count();
+  const int shared_words = protocol.shared_words();
+  const int local_words = protocol.local_words();
+  expects(static_cast<int>(inputs.size()) == n, "input vector size mismatch");
+
+  std::vector<Node> nodes;
+  std::map<std::vector<int>, int> ids;
+
+  const auto decision_of = [&](const std::vector<int>& words, int pid) {
+    return words[static_cast<std::size_t>(shared_words + n * local_words +
+                                          pid)];
+  };
+
+  const auto intern = [&](std::vector<int> words) {
+    const auto [it, inserted] =
+        ids.try_emplace(words, checked_cast<int>(nodes.size()));
+    if (inserted) {
+      expects(nodes.size() < max_states, "valency analysis state budget");
+      Node node;
+      node.words = std::move(words);
+      for (int pid = 0; pid < n; ++pid) {
+        const int d = decision_of(node.words, pid);
+        if (d != 0) node.decided_values.insert(d - 2);
+      }
+      nodes.push_back(std::move(node));
+    }
+    return it->second;
+  };
+
+  std::vector<int> initial = protocol.initial_shared();
+  for (int pid = 0; pid < n; ++pid) {
+    const auto locals =
+        protocol.initial_locals(pid, inputs[static_cast<std::size_t>(pid)]);
+    initial.insert(initial.end(), locals.begin(), locals.end());
+  }
+  initial.insert(initial.end(), static_cast<std::size_t>(n), 0);
+  const int root = intern(std::move(initial));
+
+  // Forward exploration (BFS).
+  for (std::size_t at = 0; at < nodes.size(); ++at) {
+    for (int pid = 0; pid < n; ++pid) {
+      if (decision_of(nodes[at].words, pid) != 0) continue;
+      std::vector<int> next = nodes[at].words;
+      const auto decision = protocol.step(
+          pid, std::span<int>(next.data(), static_cast<std::size_t>(shared_words)),
+          std::span<int>(next.data() + shared_words + pid * local_words,
+                         static_cast<std::size_t>(local_words)));
+      if (decision.has_value()) {
+        next[static_cast<std::size_t>(shared_words + n * local_words + pid)] =
+            *decision + 2;
+      }
+      const int child = intern(std::move(next));
+      nodes[at].successors.push_back(child);
+    }
+  }
+
+  // Backward fixpoint: valence(v) = decisions in v ∪ valence of successors.
+  std::vector<std::set<int>> valence(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    valence[i] = nodes[i].decided_values;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = nodes.size(); i-- > 0;) {
+      for (const int child : nodes[i].successors) {
+        for (const int value : valence[static_cast<std::size_t>(child)]) {
+          if (valence[i].insert(value).second) changed = true;
+        }
+      }
+    }
+  }
+
+  ValencyReport report;
+  report.total_states = nodes.size();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (valence[i].size() >= 2) {
+      ++report.bivalent_states;
+      // Critical: every successor is univalent (and there is a successor).
+      bool all_children_univalent = !nodes[i].successors.empty();
+      for (const int child : nodes[i].successors) {
+        if (valence[static_cast<std::size_t>(child)].size() >= 2) {
+          all_children_univalent = false;
+          break;
+        }
+      }
+      if (all_children_univalent && report.critical_state < 0) {
+        report.critical_state = checked_cast<std::int64_t>(i);
+      }
+    } else if (valence[i].size() == 1) {
+      ++report.univalent_states;
+    } else {
+      ++report.null_valent_states;
+    }
+  }
+  report.initial_bivalent = valence[static_cast<std::size_t>(root)].size() >= 2;
+  return report;
+}
+
+}  // namespace bss::check

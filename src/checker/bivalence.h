@@ -1,0 +1,40 @@
+// Valency analysis — the FLP/Loui-Abu-Amara argument, mechanized for a
+// concrete protocol.
+//
+// For a finite protocol and one input vector, build the full reachable state
+// graph and classify each state by its *valence*: the set of values that some
+// execution from that state ever decides.  A state with |valence| >= 2 is
+// bivalent.  FLP's structure becomes measurable output:
+//   * a correct consensus protocol for these inputs has NO reachable bivalent
+//     state from which every successor is bivalent forever (it must commit);
+//   * the classic read/write attempts show an initial bivalent state and
+//     bivalence-preserving schedules — the non-termination or disagreement
+//     the checker reports, seen through the valency lens.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "checker/protocol.h"
+
+namespace bss::check {
+
+struct ValencyReport {
+  std::uint64_t total_states = 0;
+  std::uint64_t bivalent_states = 0;
+  std::uint64_t univalent_states = 0;
+  std::uint64_t null_valent_states = 0;  ///< no decision reachable (bug)
+  bool initial_bivalent = false;
+  /// A critical state: bivalent, but every enabled step leads to a
+  /// univalent state.  Correct protocols commit through these; index is -1
+  /// if none exists.
+  std::int64_t critical_state = -1;
+  std::string summary() const;
+};
+
+ValencyReport analyze_valency(const Protocol& protocol,
+                              const std::vector<int>& inputs,
+                              std::uint64_t max_states = 2'000'000);
+
+}  // namespace bss::check

@@ -1,0 +1,355 @@
+#include "checker/consensus_check.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/checked.h"
+
+namespace bss::check {
+
+std::vector<std::vector<int>> all_input_vectors(int n,
+                                                std::span<const int> domain) {
+  std::vector<std::vector<int>> vectors{{}};
+  for (int position = 0; position < n; ++position) {
+    std::vector<std::vector<int>> extended;
+    extended.reserve(vectors.size() * domain.size());
+    for (const auto& vector : vectors) {
+      for (const int value : domain) {
+        auto copy = vector;
+        copy.push_back(value);
+        extended.push_back(std::move(copy));
+      }
+    }
+    vectors = std::move(extended);
+  }
+  return vectors;
+}
+
+namespace {
+
+// Full system configuration: shared words, all locals, per-process decision.
+struct Config {
+  std::vector<int> words;  // shared ++ locals ++ decisions(+2, 0 = undecided)
+
+  bool operator==(const Config& other) const { return words == other.words; }
+};
+
+struct ConfigHash {
+  std::size_t operator()(const Config& config) const {
+    std::size_t h = 1469598103934665603ULL;
+    for (const int word : config.words) {
+      h ^= static_cast<std::size_t>(word) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
+
+class Explorer {
+ public:
+  Explorer(const Protocol& protocol, const CheckOptions& options)
+      : protocol_(protocol),
+        options_(options),
+        n_(protocol.process_count()),
+        shared_words_(protocol.shared_words()),
+        local_words_(protocol.local_words()) {}
+
+  CheckResult explore(const std::vector<int>& inputs) {
+    result_ = CheckResult{};
+    result_.inputs = inputs;
+
+    Config initial;
+    initial.words = protocol_.initial_shared();
+    expects(static_cast<int>(initial.words.size()) == shared_words_,
+            "protocol initial_shared size mismatch");
+    for (int pid = 0; pid < n_; ++pid) {
+      const auto locals = protocol_.initial_locals(
+          pid, inputs[static_cast<std::size_t>(pid)]);
+      expects(static_cast<int>(locals.size()) == local_words_,
+              "protocol initial_locals size mismatch");
+      initial.words.insert(initial.words.end(), locals.begin(), locals.end());
+    }
+    initial.words.insert(initial.words.end(), static_cast<std::size_t>(n_), 0);
+
+    // Iterative DFS building the reachable graph; parent pointers give the
+    // counterexample schedule.
+    ids_.clear();
+    configs_.clear();
+    edges_.clear();
+    parent_.clear();
+    const int root = intern(initial, -1, -1);
+    std::vector<int> stack{root};
+    std::vector<bool> expanded;
+    while (!stack.empty()) {
+      const int node = stack.back();
+      stack.pop_back();
+      if (expanded.size() <= static_cast<std::size_t>(node)) {
+        expanded.resize(static_cast<std::size_t>(node) + 1, false);
+      }
+      if (expanded[static_cast<std::size_t>(node)]) continue;
+      expanded[static_cast<std::size_t>(node)] = true;
+
+      const Config config = configs_[static_cast<std::size_t>(node)];  // copy
+      bool any_enabled = false;
+      for (int pid = 0; pid < n_; ++pid) {
+        if (decision_of(config, pid) != 0) continue;  // decided: halted
+        any_enabled = true;
+        Config next = config;
+        const auto decision = protocol_.step(
+            pid,
+            std::span<int>(next.words.data(), static_cast<std::size_t>(shared_words_)),
+            std::span<int>(
+                next.words.data() + shared_words_ + pid * local_words_,
+                static_cast<std::size_t>(local_words_)));
+        if (decision.has_value()) {
+          set_decision(next, pid, *decision);
+          if (!check_decision_invariants(next, node, pid)) return result_;
+        }
+        const int next_id = intern(next, node, pid);
+        if (next_id < 0) return result_;  // budget blown
+        edges_.push_back({node, pid, next_id});
+        if (static_cast<std::size_t>(next_id) >= expanded.size() ||
+            !expanded[static_cast<std::size_t>(next_id)]) {
+          stack.push_back(next_id);
+        }
+      }
+      if (!any_enabled) {
+        // Everyone decided in this configuration: fine.
+        continue;
+      }
+    }
+
+    // Stuck check: an undecided process with... (a deterministic protocol
+    // always has a step; stuck cannot happen with this interface).  Check
+    // wait-freedom: per pid, a cycle within undecided(pid) states containing
+    // a pid edge.
+    for (int pid = 0; pid < n_; ++pid) {
+      if (find_livelock(pid)) return result_;
+    }
+
+    result_.solves = true;
+    result_.states_explored = configs_.size();
+    return result_;
+  }
+
+ private:
+  struct Edge {
+    int from;
+    int pid;
+    int to;
+  };
+
+  int decision_of(const Config& config, int pid) const {
+    return config.words[static_cast<std::size_t>(shared_words_ +
+                                                 n_ * local_words_ + pid)];
+  }
+  void set_decision(Config& config, int pid, int value) const {
+    // Stored with +2 so that any int decision (including -1, 0) fits with 0
+    // meaning "undecided".  Decisions are compared through this encoding.
+    config.words[static_cast<std::size_t>(shared_words_ + n_ * local_words_ +
+                                          pid)] = value + 2;
+  }
+
+  // Returns -1 if the state budget is exhausted.
+  int intern(const Config& config, int parent, int pid) {
+    const auto [it, inserted] =
+        ids_.try_emplace(config, checked_cast<int>(configs_.size()));
+    if (inserted) {
+      if (configs_.size() >= options_.max_states) {
+        result_.violation = Violation::kStateBudget;
+        result_.detail = "state budget exhausted (inconclusive)";
+        result_.states_explored = configs_.size();
+        return -1;
+      }
+      configs_.push_back(config);
+      parent_.push_back({parent, pid});
+      return it->second;
+    }
+    return it->second;
+  }
+
+  std::vector<int> schedule_to(int node) const {
+    std::vector<int> schedule;
+    for (int at = node; at >= 0 && parent_[static_cast<std::size_t>(at)].first >= -1;) {
+      const auto [prev, pid] = parent_[static_cast<std::size_t>(at)];
+      if (pid >= 0) schedule.push_back(pid);
+      if (prev < 0) break;
+      at = prev;
+    }
+    std::reverse(schedule.begin(), schedule.end());
+    return schedule;
+  }
+
+  bool check_decision_invariants(const Config& config, int parent, int pid) {
+    // Validity.
+    const int decided = decision_of(config, pid) - 2;
+    bool proposed = false;
+    for (const int input : result_.inputs) proposed = proposed || input == decided;
+    if (!proposed) {
+      result_.violation = Violation::kValidity;
+      std::ostringstream out;
+      out << "p" << pid << " decided " << decided << ", proposed by nobody";
+      result_.detail = out.str();
+      result_.schedule = schedule_to(parent);
+      result_.schedule.push_back(pid);
+      result_.states_explored = configs_.size();
+      return false;
+    }
+    // Agreement (l-set): count distinct decisions in this configuration.
+    std::set<int> decisions;
+    for (int p = 0; p < n_; ++p) {
+      const int d = decision_of(config, p);
+      if (d != 0) decisions.insert(d);
+    }
+    if (checked_cast<int>(decisions.size()) > options_.agreement) {
+      result_.violation = Violation::kAgreement;
+      std::ostringstream out;
+      out << decisions.size() << " distinct decisions (allowed "
+          << options_.agreement << "):";
+      for (const int d : decisions) out << " " << d - 2;
+      result_.detail = out.str();
+      result_.schedule = schedule_to(parent);
+      result_.schedule.push_back(pid);
+      result_.states_explored = configs_.size();
+      return false;
+    }
+    return true;
+  }
+
+  // A cycle among states where `pid` is undecided, containing a pid-edge:
+  // pid can take infinitely many steps without deciding.
+  bool find_livelock(int pid) {
+    // Adjacency over the restricted subgraph.
+    const int n_nodes = checked_cast<int>(configs_.size());
+    std::vector<std::vector<std::pair<int, bool>>> adj(
+        static_cast<std::size_t>(n_nodes));
+    for (const Edge& edge : edges_) {
+      if (decision_of(configs_[static_cast<std::size_t>(edge.from)], pid) != 0 ||
+          decision_of(configs_[static_cast<std::size_t>(edge.to)], pid) != 0) {
+        continue;
+      }
+      adj[static_cast<std::size_t>(edge.from)].push_back(
+          {edge.to, edge.pid == pid});
+    }
+    // Tarjan-free approach: find SCCs via Kosaraju-lite (iterative), then a
+    // qualifying SCC is one containing a pid-edge inside it.
+    // For the modest graphs here, a simple DFS-based SCC (Tarjan iterative)
+    // is plenty.
+    std::vector<int> index(static_cast<std::size_t>(n_nodes), -1);
+    std::vector<int> low(static_cast<std::size_t>(n_nodes), 0);
+    std::vector<int> comp(static_cast<std::size_t>(n_nodes), -1);
+    std::vector<bool> on_stack(static_cast<std::size_t>(n_nodes), false);
+    std::vector<int> tarjan_stack;
+    int next_index = 0;
+    int components = 0;
+
+    struct Frame {
+      int node;
+      std::size_t edge;
+    };
+    for (int start = 0; start < n_nodes; ++start) {
+      if (index[static_cast<std::size_t>(start)] != -1) continue;
+      std::vector<Frame> frames{{start, 0}};
+      index[static_cast<std::size_t>(start)] = low[static_cast<std::size_t>(start)] = next_index++;
+      tarjan_stack.push_back(start);
+      on_stack[static_cast<std::size_t>(start)] = true;
+      while (!frames.empty()) {
+        Frame& frame = frames.back();
+        const auto node = static_cast<std::size_t>(frame.node);
+        if (frame.edge < adj[node].size()) {
+          const int child = adj[node][frame.edge++].first;
+          const auto child_idx = static_cast<std::size_t>(child);
+          if (index[child_idx] == -1) {
+            index[child_idx] = low[child_idx] = next_index++;
+            tarjan_stack.push_back(child);
+            on_stack[child_idx] = true;
+            frames.push_back({child, 0});
+          } else if (on_stack[child_idx]) {
+            low[node] = std::min(low[node], index[child_idx]);
+          }
+        } else {
+          if (low[node] == index[node]) {
+            for (;;) {
+              const int member = tarjan_stack.back();
+              tarjan_stack.pop_back();
+              on_stack[static_cast<std::size_t>(member)] = false;
+              comp[static_cast<std::size_t>(member)] = components;
+              if (member == frame.node) break;
+            }
+            ++components;
+          }
+          const int done = frame.node;
+          frames.pop_back();
+          if (!frames.empty()) {
+            const auto parent_node = static_cast<std::size_t>(frames.back().node);
+            low[parent_node] =
+                std::min(low[parent_node], low[static_cast<std::size_t>(done)]);
+          }
+        }
+      }
+    }
+    // Qualifying: an intra-SCC edge (u->v, comp equal) that either is a
+    // pid-edge, or the SCC is non-trivial and contains a pid-edge.
+    for (int node = 0; node < n_nodes; ++node) {
+      for (const auto& [to, is_pid] : adj[static_cast<std::size_t>(node)]) {
+        if (!is_pid) continue;
+        const bool same_comp = comp[static_cast<std::size_t>(node)] ==
+                               comp[static_cast<std::size_t>(to)];
+        const bool self_loop = to == node;
+        if (same_comp || self_loop) {
+          result_.violation = Violation::kNonTermination;
+          std::ostringstream out;
+          out << "p" << pid
+              << " can take infinitely many steps without deciding "
+                 "(cycle through state "
+              << node << ")";
+          result_.detail = out.str();
+          result_.schedule = schedule_to(node);
+          result_.schedule.push_back(pid);
+          result_.states_explored = configs_.size();
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  const Protocol& protocol_;
+  CheckOptions options_;
+  int n_;
+  int shared_words_;
+  int local_words_;
+
+  CheckResult result_;
+  std::unordered_map<Config, int, ConfigHash> ids_;
+  std::vector<Config> configs_;
+  std::vector<Edge> edges_;
+  std::vector<std::pair<int, int>> parent_;  // (parent node, pid)
+};
+
+}  // namespace
+
+CheckResult check_consensus(const Protocol& protocol,
+                            const std::vector<std::vector<int>>& input_vectors,
+                            const CheckOptions& options) {
+  expects(!input_vectors.empty(), "no input vectors to check");
+  CheckResult last;
+  std::uint64_t total_states = 0;
+  for (const auto& inputs : input_vectors) {
+    expects(static_cast<int>(inputs.size()) == protocol.process_count(),
+            "input vector size mismatch");
+    Explorer explorer(protocol, options);
+    last = explorer.explore(inputs);
+    total_states += last.states_explored;
+    if (!last.solves) {
+      last.states_explored = total_states;
+      return last;
+    }
+  }
+  last.states_explored = total_states;
+  return last;
+}
+
+}  // namespace bss::check

@@ -1,0 +1,52 @@
+// Exhaustive (set-)consensus checking over all interleavings.
+//
+// For a finite Protocol and a set of input vectors, explores the full
+// reachable state graph (every scheduler choice at every state) and decides:
+//   * Agreement: at most `agreement` distinct decisions ever coexist
+//     (agreement = 1 is consensus, l > 1 is l-set consensus);
+//   * Validity: every decision is some process's input;
+//   * Wait-freedom: no reachable cycle lets an undecided process take
+//     infinitely many steps without deciding, and no undecided process is
+//     ever stuck without an enabled step.
+// A violation comes with a concrete schedule (the sequence of pids) that
+// exhibits it — the mechanized form of the valency arguments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "checker/protocol.h"
+
+namespace bss::check {
+
+enum class Violation {
+  kNone,
+  kAgreement,       ///< too many distinct decisions
+  kValidity,        ///< decided a value nobody proposed
+  kNonTermination,  ///< an undecided process can step forever
+  kStuck,           ///< an undecided process has no step (protocol bug)
+  kStateBudget,     ///< exploration exceeded max_states (inconclusive)
+};
+
+struct CheckResult {
+  bool solves = false;
+  Violation violation = Violation::kNone;
+  std::string detail;          ///< human-readable description
+  std::vector<int> schedule;   ///< pid sequence reaching the violation
+  std::vector<int> inputs;     ///< the input vector it happened under
+  std::uint64_t states_explored = 0;
+};
+
+struct CheckOptions {
+  int agreement = 1;  ///< l of l-set consensus
+  std::uint64_t max_states = 5'000'000;
+};
+
+/// Checks the protocol against every input vector; stops at the first
+/// violation.  `solves` is true iff no vector produces one.
+CheckResult check_consensus(const Protocol& protocol,
+                            const std::vector<std::vector<int>>& input_vectors,
+                            const CheckOptions& options = {});
+
+}  // namespace bss::check

@@ -1,0 +1,54 @@
+// Finite protocols for exhaustive checking.
+//
+// The paper's lower bound rests on impossibility results (FLP [9],
+// Loui-Abu-Amara [18], the set-consensus impossibility [4,11,21]).  Those are
+// theorems over ALL protocols and cannot be executed; what CAN be executed is
+// the decision problem for a GIVEN finite protocol: "does this protocol solve
+// (set-)consensus for n processes?"  This module defines the protocol
+// interface; consensus_check.h explores every interleaving and either
+// certifies the protocol or extracts a counterexample schedule — which for
+// the classic attempts reproduces the textbook valency arguments as concrete
+// executions.
+//
+// A protocol is a deterministic state machine per process:
+//   * shared state: a small vector of ints (the protocol's registers/objects,
+//     whose operation semantics live inside step());
+//   * local state per process: a small vector of ints (pc + scratch);
+//   * step(pid): ONE atomic shared-memory operation plus local computation,
+//     possibly returning a decision.  Atomicity per step is exactly the
+//     atomic-object model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bss::check {
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  virtual std::string name() const = 0;
+  virtual int process_count() const = 0;
+  virtual int shared_words() const = 0;
+  virtual int local_words() const = 0;
+
+  virtual std::vector<int> initial_shared() const = 0;
+  /// Local state of `pid` when its input value is `input`.
+  virtual std::vector<int> initial_locals(int pid, int input) const = 0;
+
+  /// Performs one atomic step of `pid`.  Returns the decision value if this
+  /// step decides; a decided process takes no further steps.
+  virtual std::optional<int> step(int pid, std::span<int> shared,
+                                  std::span<int> locals) const = 0;
+};
+
+/// All input vectors over `domain` for `n` processes (|domain|^n of them) —
+/// the exhaustive input sweep used for consensus checking.
+std::vector<std::vector<int>> all_input_vectors(int n,
+                                                std::span<const int> domain);
+
+}  // namespace bss::check

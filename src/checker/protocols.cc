@@ -1,0 +1,237 @@
+#include "checker/protocols.h"
+
+#include "util/checked.h"
+
+namespace bss::check {
+
+namespace {
+// Local-word layout used by every protocol here: locals[0] = pc,
+// locals[1] = input, locals[2] = scratch.
+enum : int { kPc = 0, kInput = 1, kScratch = 2 };
+}  // namespace
+
+// ------------------------------------------------------- RwWriteReadConsensus
+
+std::vector<int> RwWriteReadConsensus::initial_locals(int, int input) const {
+  return {0, input, 0};
+}
+
+std::optional<int> RwWriteReadConsensus::step(int pid, std::span<int> shared,
+                                              std::span<int> locals) const {
+  // pc 0: write value[pid] := input.
+  // pc 1: read value[1-pid]; decide my input if empty, else min of both.
+  switch (locals[kPc]) {
+    case 0:
+      shared[static_cast<std::size_t>(pid)] = locals[kInput];
+      locals[kPc] = 1;
+      return std::nullopt;
+    default: {
+      const int other = shared[static_cast<std::size_t>(1 - pid)];
+      if (other == -1) return locals[kInput];
+      return std::min(locals[kInput], other);
+    }
+  }
+}
+
+// ------------------------------------------------------------ RwSpinConsensus
+
+std::vector<int> RwSpinConsensus::initial_locals(int, int input) const {
+  return {0, input, 0};
+}
+
+std::optional<int> RwSpinConsensus::step(int pid, std::span<int> shared,
+                                         std::span<int> locals) const {
+  // pc 0: write value[pid].
+  // pc 1: read committed; if set, decide it.
+  // pc 2: read value[1-pid]; empty -> pc 3, occupied -> back to pc 1.
+  // pc 3: write committed := input and decide it.
+  // Safe (agreement always holds) but NOT wait-free: if both processes have
+  // written, each spins pc 1 <-> pc 2 waiting for a commit that only the
+  // other could... also never make.  The checker exhibits the livelock.
+  switch (locals[kPc]) {
+    case 0:
+      shared[static_cast<std::size_t>(pid)] = locals[kInput];
+      locals[kPc] = 1;
+      return std::nullopt;
+    case 1: {
+      const int committed = shared[2];
+      if (committed != -1) return committed;
+      locals[kPc] = 2;
+      return std::nullopt;
+    }
+    case 2: {
+      const int other = shared[static_cast<std::size_t>(1 - pid)];
+      locals[kPc] = other == -1 ? 3 : 1;
+      return std::nullopt;
+    }
+    default:
+      shared[2] = locals[kInput];
+      return locals[kInput];
+  }
+}
+
+// -------------------------------------------------------------- TasConsensus2
+
+std::vector<int> TasConsensus2::initial_locals(int, int input) const {
+  return {0, input, 0};
+}
+
+std::optional<int> TasConsensus2::step(int pid, std::span<int> shared,
+                                       std::span<int> locals) const {
+  // pc 0: write prefer[pid].
+  // pc 1: test&set; winner decides own input.
+  // pc 2: loser reads prefer[1-pid] and decides it.
+  switch (locals[kPc]) {
+    case 0:
+      shared[static_cast<std::size_t>(pid)] = locals[kInput];
+      locals[kPc] = 1;
+      return std::nullopt;
+    case 1: {
+      const int previous = shared[2];
+      shared[2] = 1;
+      if (previous == 0) return locals[kInput];
+      locals[kPc] = 2;
+      return std::nullopt;
+    }
+    default:
+      return shared[static_cast<std::size_t>(1 - pid)];
+  }
+}
+
+// --------------------------------------------------------- TasSpinConsensus3
+
+std::vector<int> TasSpinConsensus3::initial_locals(int, int input) const {
+  return {0, input, 0};
+}
+
+std::optional<int> TasSpinConsensus3::step(int pid, std::span<int> shared,
+                                           std::span<int> locals) const {
+  // shared: prefer[0..2], tas at [3], winner-announce at [4].
+  // pc 0: write prefer[pid].
+  // pc 1: test&set; winner goes to announce, losers to the wait loop.
+  // pc 3: winner writes its id and decides.
+  // pc 2: loser reads the announcement; with three processes a loser cannot
+  //       deduce the winner from losing alone, so it must wait — and the
+  //       checker finds the livelock (park the winner between its test&set
+  //       and its announcement, schedule a loser forever).
+  switch (locals[kPc]) {
+    case 0:
+      shared[static_cast<std::size_t>(pid)] = locals[kInput];
+      locals[kPc] = 1;
+      return std::nullopt;
+    case 1: {
+      const int previous = shared[3];
+      shared[3] = 1;
+      locals[kPc] = previous == 0 ? 3 : 2;
+      return std::nullopt;
+    }
+    case 3:
+      shared[4] = pid;
+      return locals[kInput];
+    default: {
+      const int winner = shared[4];
+      if (winner != -1) return shared[static_cast<std::size_t>(winner)];
+      return std::nullopt;  // spin at pc 2
+    }
+  }
+}
+
+// --------------------------------------------------------------- CasConsensusK
+
+CasConsensusK::CasConsensusK(int n, int k) : n_(n), k_(k) {
+  expects(n >= 1, "CasConsensusK needs processes");
+  expects(k >= 2, "compare&swap-(k) needs k >= 2");
+}
+
+std::string CasConsensusK::name() const {
+  return "cas-" + std::to_string(k_) + "-n" + std::to_string(n_);
+}
+
+std::vector<int> CasConsensusK::initial_shared() const {
+  std::vector<int> shared(static_cast<std::size_t>(n_ + 1), -1);
+  shared[static_cast<std::size_t>(n_)] = 0;  // the register holds ⊥
+  return shared;
+}
+
+std::vector<int> CasConsensusK::initial_locals(int, int input) const {
+  return {0, input, 0};
+}
+
+std::optional<int> CasConsensusK::step(int pid, std::span<int> shared,
+                                       std::span<int> locals) const {
+  // pc 0: write prefer[pid].
+  // pc 1: c&s(⊥ -> my symbol); read result.
+  // pc 2: decide prefer of whoever owns the winning symbol (smallest pid
+  //       with that symbol that has announced).
+  switch (locals[kPc]) {
+    case 0:
+      shared[static_cast<std::size_t>(pid)] = locals[kInput];
+      locals[kPc] = 1;
+      return std::nullopt;
+    case 1: {
+      int& reg = shared[static_cast<std::size_t>(n_)];
+      const int previous = reg;
+      if (previous == 0) reg = symbol_of(pid);
+      locals[kScratch] = previous == 0 ? symbol_of(pid) : previous;
+      locals[kPc] = 2;
+      return std::nullopt;
+    }
+    default: {
+      const int winning_symbol = locals[kScratch];
+      for (int p = 0; p < n_; ++p) {
+        if (symbol_of(p) == winning_symbol &&
+            shared[static_cast<std::size_t>(p)] != -1) {
+          return shared[static_cast<std::size_t>(p)];
+        }
+      }
+      return std::nullopt;  // cannot happen when symbols are distinct
+    }
+  }
+}
+
+// --------------------------------------------------------------- SwapConsensusN
+
+std::vector<int> SwapConsensusN::initial_shared() const {
+  std::vector<int> shared(static_cast<std::size_t>(n_ + 1), -1);
+  shared[static_cast<std::size_t>(n_)] = 0;  // the swap register
+  return shared;
+}
+
+std::vector<int> SwapConsensusN::initial_locals(int, int input) const {
+  return {0, input, 0};
+}
+
+std::optional<int> SwapConsensusN::step(int pid, std::span<int> shared,
+                                        std::span<int> locals) const {
+  // pc 0: write prefer[pid].
+  // pc 1: swap in marker pid+1; 0 back -> I won; else decide the marker's
+  //       owner's preference.
+  switch (locals[kPc]) {
+    case 0:
+      shared[static_cast<std::size_t>(pid)] = locals[kInput];
+      locals[kPc] = 1;
+      return std::nullopt;
+    default: {
+      int& reg = shared[static_cast<std::size_t>(n_)];
+      const int previous = reg;
+      reg = pid + 1;
+      if (previous == 0) return locals[kInput];
+      return shared[static_cast<std::size_t>(previous - 1)];
+    }
+  }
+}
+
+// -------------------------------------------------------------- StickyConsensus
+
+std::vector<int> StickyConsensus::initial_locals(int, int input) const {
+  return {0, input};
+}
+
+std::optional<int> StickyConsensus::step(int, std::span<int> shared,
+                                         std::span<int> locals) const {
+  int& sticky = shared[0];
+  if (sticky == -1) sticky = locals[kInput];
+  return sticky;
+}
+
+}  // namespace bss::check

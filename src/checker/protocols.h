@@ -1,0 +1,138 @@
+// Concrete finite protocols for the hierarchy table (T3).
+//
+// Each class is one protocol the exhaustive checker certifies or refutes:
+//
+//   RwWriteReadConsensus   — the natural read/write attempt; REFUTED for
+//                            n = 2 (agreement counterexample): the machine-
+//                            checked face of FLP/Loui-Abu-Amara.
+//   RwSpinConsensus        — a "safe but waiting" read/write attempt;
+//                            REFUTED (non-termination cycle): choosing
+//                            safety costs wait-freedom.
+//   TasConsensus2          — test&set + registers, n = 2; CERTIFIED.
+//   TasSpinConsensus3      — the natural n = 3 extension with one test&set;
+//                            REFUTED (losers must wait for the winner) —
+//                            test&set has consensus number exactly 2.
+//   CasConsensusK          — one compare&swap-(k) + registers, n processes
+//                            claiming distinct symbols; CERTIFIED for
+//                            n <= k-1.
+//   CasOverloadedConsensus — same with n > k-1 (two processes share a
+//                            symbol); REFUTED (agreement): bounded size
+//                            biting, the paper's theme in miniature.
+//   StickyConsensus        — one sticky register [20]; CERTIFIED for any n
+//                            the checker can afford: why it tops the
+//                            hierarchy.
+#pragma once
+
+#include "checker/protocol.h"
+
+namespace bss::check {
+
+class RwWriteReadConsensus final : public Protocol {
+ public:
+  std::string name() const override { return "rw-write-read"; }
+  int process_count() const override { return 2; }
+  int shared_words() const override { return 2; }  // value[2], -1 = empty
+  int local_words() const override { return 3; }   // pc, input, seen
+  std::vector<int> initial_shared() const override { return {-1, -1}; }
+  std::vector<int> initial_locals(int pid, int input) const override;
+  std::optional<int> step(int pid, std::span<int> shared,
+                          std::span<int> locals) const override;
+};
+
+class RwSpinConsensus final : public Protocol {
+ public:
+  std::string name() const override { return "rw-spin"; }
+  int process_count() const override { return 2; }
+  int shared_words() const override { return 3; }  // value[2], committed
+  int local_words() const override { return 3; }
+  std::vector<int> initial_shared() const override { return {-1, -1, -1}; }
+  std::vector<int> initial_locals(int pid, int input) const override;
+  std::optional<int> step(int pid, std::span<int> shared,
+                          std::span<int> locals) const override;
+};
+
+class TasConsensus2 final : public Protocol {
+ public:
+  std::string name() const override { return "tas-2"; }
+  int process_count() const override { return 2; }
+  int shared_words() const override { return 3; }  // prefer[2], tas bit
+  int local_words() const override { return 3; }
+  std::vector<int> initial_shared() const override { return {-1, -1, 0}; }
+  std::vector<int> initial_locals(int pid, int input) const override;
+  std::optional<int> step(int pid, std::span<int> shared,
+                          std::span<int> locals) const override;
+};
+
+class TasSpinConsensus3 final : public Protocol {
+ public:
+  std::string name() const override { return "tas-spin-3"; }
+  int process_count() const override { return 3; }
+  int shared_words() const override { return 5; }  // prefer[3], tas, winner
+  int local_words() const override { return 3; }
+  std::vector<int> initial_shared() const override {
+    return {-1, -1, -1, 0, -1};
+  }
+  std::vector<int> initial_locals(int pid, int input) const override;
+  std::optional<int> step(int pid, std::span<int> shared,
+                          std::span<int> locals) const override;
+};
+
+/// n processes, one compare&swap-(k): process pid claims symbol
+/// (pid % (k-1)) + 1.  Correct iff the symbols are distinct, i.e. n <= k-1.
+class CasConsensusK final : public Protocol {
+ public:
+  CasConsensusK(int n, int k);
+  std::string name() const override;
+  int process_count() const override { return n_; }
+  int shared_words() const override { return n_ + 1; }  // prefer[n], cas
+  int local_words() const override { return 3; }
+  std::vector<int> initial_shared() const override;
+  std::vector<int> initial_locals(int pid, int input) const override;
+  std::optional<int> step(int pid, std::span<int> shared,
+                          std::span<int> locals) const override;
+
+ private:
+  int symbol_of(int pid) const { return pid % (k_ - 1) + 1; }
+  int n_;
+  int k_;
+};
+
+/// n processes, one swap register: everyone swaps in its marker; whoever got
+/// the initial value back won.  Correct for n = 2 (the loser's swap returns
+/// the winner's marker); for n >= 3 a late process sees the PREVIOUS
+/// swapper's marker, not the first's — consensus number 2, like test&set.
+class SwapConsensusN final : public Protocol {
+ public:
+  explicit SwapConsensusN(int n) : n_(n) {}
+  std::string name() const override {
+    return "swap-n" + std::to_string(n_);
+  }
+  int process_count() const override { return n_; }
+  int shared_words() const override { return n_ + 1; }  // prefer[n], swap
+  int local_words() const override { return 3; }
+  std::vector<int> initial_shared() const override;
+  std::vector<int> initial_locals(int pid, int input) const override;
+  std::optional<int> step(int pid, std::span<int> shared,
+                          std::span<int> locals) const override;
+
+ private:
+  int n_;
+};
+
+class StickyConsensus final : public Protocol {
+ public:
+  explicit StickyConsensus(int n) : n_(n) {}
+  std::string name() const override { return "sticky"; }
+  int process_count() const override { return n_; }
+  int shared_words() const override { return 1; }  // the sticky register
+  int local_words() const override { return 2; }   // pc, input
+  std::vector<int> initial_shared() const override { return {-1}; }
+  std::vector<int> initial_locals(int pid, int input) const override;
+  std::optional<int> step(int pid, std::span<int> shared,
+                          std::span<int> locals) const override;
+
+ private:
+  int n_;
+};
+
+}  // namespace bss::check

@@ -1,0 +1,41 @@
+#include "core/capacity.h"
+
+#include "util/checked.h"
+
+namespace bss::core {
+
+BigUint burns_bound(int k) {
+  expects(k >= 2, "capacity bounds need k >= 2");
+  return BigUint(static_cast<std::uint64_t>(k - 1));
+}
+
+BigUint algorithmic_lower(int k) {
+  expects(k >= 2, "capacity bounds need k >= 2");
+  return BigUint::factorial(k - 1);
+}
+
+BigUint paper_upper(int k) {
+  expects(k >= 2, "capacity bounds need k >= 2");
+  const auto base = static_cast<std::uint64_t>(k);
+  const auto exponent = static_cast<std::uint64_t>(k) * static_cast<std::uint64_t>(k) + 3;
+  return BigUint::pow(base, exponent);
+}
+
+BigUint conjecture(int k) {
+  expects(k >= 2, "capacity bounds need k >= 2");
+  return BigUint::factorial(k);
+}
+
+CapacityRow capacity_row(int k) {
+  CapacityRow row;
+  row.k = k;
+  row.burns = burns_bound(k);
+  row.lower = algorithmic_lower(k);
+  row.conjectured = conjecture(k);
+  row.upper = paper_upper(k);
+  row.rw_amplification = row.lower.to_double() / row.burns.to_double();
+  row.gap_digits = row.upper.decimal_digits() - row.lower.decimal_digits();
+  return row;
+}
+
+}  // namespace bss::core

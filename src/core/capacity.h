@@ -1,0 +1,46 @@
+// The paper's capacity bounds for n_k — the maximum number of processes that
+// can elect a leader wait-free with one compare&swap-(k) plus unbounded
+// read/write registers — computed exactly.
+//
+//   burns_bound(k)       = k-1            one k-valued RMW register ALONE [5]
+//   algorithmic_lower(k) = (k-1)!         witnessed by FirstValueTree (R1)
+//   paper_upper(k)       = k^(k^2+3)      Theorem 1 (R2)
+//   conjecture(k)        = k!             the paper's closing conjecture
+//
+// The bounds grow past uint64 almost immediately (paper_upper(4) = 4^19),
+// hence BigUint.
+#pragma once
+
+#include "util/big_uint.h"
+
+namespace bss::core {
+
+/// k-1: capacity of a k-valued write-once RMW register with NO read/write
+/// registers (Burns, Cruz, Loui [5]).
+BigUint burns_bound(int k);
+
+/// (k-1)!: the election algorithm's capacity — n_k is at least this.
+BigUint algorithmic_lower(int k);
+
+/// k^(k^2+3): Theorem 1's upper bound — n_k is at most O(this).
+BigUint paper_upper(int k);
+
+/// k!: the paper's conjectured true order of n_k.
+BigUint conjecture(int k);
+
+/// One row of the capacity table (T1), pre-rendered.
+struct CapacityRow {
+  int k = 0;
+  BigUint burns;
+  BigUint lower;
+  BigUint conjectured;
+  BigUint upper;
+  /// lower/burns as a double: how much read/write registers add (≥ 1).
+  double rw_amplification = 0;
+  /// digits(upper) - digits(lower): the open gap, in decimal orders.
+  int gap_digits = 0;
+};
+
+CapacityRow capacity_row(int k);
+
+}  // namespace bss::core

@@ -1,0 +1,42 @@
+#include "core/concurrent_election.h"
+
+#include <thread>
+
+#include "util/checked.h"
+
+namespace bss::core {
+
+AtomicElectionMemory::AtomicElectionMemory(int k)
+    : k_(k),
+      confirm_(static_cast<std::size_t>(k - 1)),
+      announce_(slot_count(k)) {
+  expects(k >= 2, "compare&swap-(k) needs k >= 2");
+  for (auto& cell : confirm_) cell.store(0, std::memory_order_relaxed);
+  for (auto& cell : announce_) cell.store(kNoId, std::memory_order_relaxed);
+}
+
+ConcurrentElectionReport run_concurrent_election(int k, int n) {
+  expects(n >= 1 && static_cast<std::uint64_t>(n) <= slot_count(k),
+          "thread count exceeds the (k-1)! capacity");
+  AtomicElectionMemory memory(k);
+  ConcurrentElectionReport report;
+  report.outcomes.resize(static_cast<std::size_t>(n));
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    threads.emplace_back([&memory, &report, t] {
+      report.outcomes[static_cast<std::size_t>(t)] =
+          fvt_elect(memory, static_cast<std::uint64_t>(t), 1000 + t);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  report.leader = report.outcomes.front().leader;
+  for (const auto& outcome : report.outcomes) {
+    if (outcome.leader != report.leader) report.consistent = false;
+  }
+  return report;
+}
+
+}  // namespace bss::core

@@ -1,0 +1,81 @@
+// Lock-free FirstValueTree election on real hardware threads.
+//
+// The simulator backend proves the algorithm against every adversarial
+// interleaving; this backend proves it is real lock-free code: the same
+// fvt_elect template running on std::atomic with seq_cst ordering (the
+// correctness argument in first_value_tree.h uses only a total order on the
+// shared-memory operations plus per-object modification orders, which
+// seq_cst supplies).  The bounded value domain of the compare&swap-(k) is
+// enforced exactly as in the simulator object.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/first_value_tree.h"
+
+namespace bss::core {
+
+/// The election's shared memory as std::atomic words; shareable by any
+/// number of OS threads.  Satisfies ElectionMemory directly (the atomics
+/// make it safe to use one instance from all threads, unlike the simulator
+/// adapter which binds a per-process Ctx).
+class AtomicElectionMemory {
+ public:
+  explicit AtomicElectionMemory(int k);
+
+  int k() const { return k_; }
+
+  int cas(int expect, int next) {
+    expects(expect >= 0 && expect < k_ && next >= 0 && next < k_,
+            "compare&swap-(k): symbol outside value domain");
+    int observed = expect;
+    if (value_.compare_exchange_strong(observed, next,
+                                       std::memory_order_seq_cst)) {
+      return expect;
+    }
+    return observed;
+  }
+
+  int read_confirm(int stage) const {
+    return confirm_[static_cast<std::size_t>(stage)].load(
+        std::memory_order_seq_cst);
+  }
+  void write_confirm(int stage, int symbol) {
+    confirm_[static_cast<std::size_t>(stage)].store(symbol,
+                                                    std::memory_order_seq_cst);
+  }
+  std::int64_t read_announce(std::uint64_t slot) const {
+    return announce_[static_cast<std::size_t>(slot)].load(
+        std::memory_order_seq_cst);
+  }
+  void write_announce(std::uint64_t slot, std::int64_t id) {
+    announce_[static_cast<std::size_t>(slot)].store(id,
+                                                    std::memory_order_seq_cst);
+  }
+
+  /// Final register value, for post-run checks.
+  int value() const { return value_.load(std::memory_order_seq_cst); }
+
+ private:
+  int k_;
+  std::atomic<int> value_{0};
+  std::vector<std::atomic<int>> confirm_;
+  std::vector<std::atomic<std::int64_t>> announce_;
+};
+
+static_assert(ElectionMemory<AtomicElectionMemory>);
+
+struct ConcurrentElectionReport {
+  std::vector<ElectOutcome> outcomes;  // by thread index
+  bool consistent = true;
+  std::int64_t leader = kNoId;
+};
+
+/// Spawns `n` OS threads (n <= (k-1)!), each electing via fvt_elect; thread
+/// t owns slot t and proposes identity 1000 + t.
+ConcurrentElectionReport run_concurrent_election(int k, int n);
+
+}  // namespace bss::core

@@ -1,0 +1,86 @@
+#include "core/election_validator.h"
+
+#include <set>
+#include <sstream>
+
+#include "util/permutation.h"
+
+namespace bss::core {
+
+ElectionVerdict verify_election(const SimElectionReport& report) {
+  ElectionVerdict verdict;
+  std::ostringstream diagnosis;
+
+  // --- (a) Consistency: distinct processes never elect distinct identities.
+  std::int64_t elected = kNoId;
+  verdict.consistent = true;
+  for (int pid = 0; pid < report.processes; ++pid) {
+    const auto& outcome = report.outcomes[static_cast<std::size_t>(pid)];
+    if (!outcome.has_value()) continue;
+    if (elected == kNoId) {
+      elected = outcome->leader;
+    } else if (outcome->leader != elected) {
+      verdict.consistent = false;
+      diagnosis << "p" << pid << " elected " << outcome->leader
+                << " but an earlier process elected " << elected << "; ";
+    }
+  }
+
+  // --- (c) Validity: the elected identity was proposed by some process.
+  verdict.valid = true;
+  if (elected != kNoId) {
+    const std::int64_t pid = elected - report.id_base;
+    if (pid < 0 || pid >= report.processes) {
+      verdict.valid = false;
+      diagnosis << "elected id " << elected << " was never proposed; ";
+    }
+  }
+
+  // --- (b) Wait-freedom: every surviving process decided, and within the
+  //     O(k) bound on compare&swap accesses the algorithm promises.
+  verdict.wait_free = true;
+  for (int pid = 0; pid < report.processes; ++pid) {
+    const auto status = report.run.outcomes[static_cast<std::size_t>(pid)];
+    const auto& outcome = report.outcomes[static_cast<std::size_t>(pid)];
+    if (status == sim::ProcOutcome::kFinished) {
+      if (!outcome.has_value() || outcome->leader == kNoId) {
+        verdict.wait_free = false;
+        diagnosis << "p" << pid << " finished without deciding; ";
+      } else if (outcome->cas_accesses > max_iterations(report.k)) {
+        verdict.wait_free = false;
+        diagnosis << "p" << pid << " used " << outcome->cas_accesses
+                  << " c&s accesses (> bound " << max_iterations(report.k)
+                  << "); ";
+      }
+    } else if (status == sim::ProcOutcome::kFailed ||
+               report.run.step_limit_hit) {
+      verdict.wait_free = false;
+      diagnosis << "p" << pid << " failed or hit the step limit; ";
+    }
+  }
+
+  // --- Label soundness: history is a chain of first-value installs.
+  verdict.label_sound = true;
+  std::vector<int> installed;
+  int previous = sim::CasRegisterK::kBottom;
+  for (const auto& transition : report.cas_history) {
+    if (transition.from != previous) {
+      verdict.label_sound = false;
+      diagnosis << "history transition " << transition.from << "->"
+                << transition.to << " does not chain from " << previous
+                << "; ";
+    }
+    installed.push_back(transition.to);
+    previous = transition.to;
+  }
+  if (!is_permutation_prefix(installed, 1, report.k)) {
+    verdict.label_sound = false;
+    diagnosis << "history " << label_to_string(installed)
+              << " reuses a symbol or leaves the domain; ";
+  }
+
+  verdict.diagnosis = diagnosis.str();
+  return verdict;
+}
+
+}  // namespace bss::core

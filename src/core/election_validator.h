@@ -1,0 +1,26 @@
+// Post-run validation of election executions against the three requirements
+// of the paper's LE problem — (a) Consistent, (b) Wait-free, (c) Valid —
+// plus the label-soundness invariant the lower bound builds on (the
+// compare&swap history is a permutation prefix: first-value installs only).
+#pragma once
+
+#include <string>
+
+#include "core/sim_election.h"
+
+namespace bss::core {
+
+struct ElectionVerdict {
+  bool consistent = false;   ///< all deciders elected the same identity
+  bool valid = false;        ///< the elected identity was proposed
+  bool wait_free = false;    ///< every non-crashed process decided, within the
+                             ///< O(k) c&s-access bound
+  bool label_sound = false;  ///< c&s history never reuses a symbol
+  std::string diagnosis;     ///< human-readable failure detail
+
+  bool ok() const { return consistent && valid && wait_free && label_sound; }
+};
+
+ElectionVerdict verify_election(const SimElectionReport& report);
+
+}  // namespace bss::core

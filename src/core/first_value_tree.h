@@ -1,0 +1,246 @@
+// FirstValueTree — wait-free leader election for (k-1)! processes using ONE
+// compare&swap-(k) plus unbounded read/write registers.
+//
+// This is the repository's reconstruction of the election algorithm the
+// paper cites as [1] (Afek & Stupp, FOCS '93, "Synchronization power depends
+// on the register size"): it uses the same resources, achieves the same
+// capacity n_k >= (k-1)!, makes O(k) accesses to the compare&swap register
+// per process, and classifies runs by the order of first occurrences of
+// values in the register — exactly the "label" object on which the PODC '94
+// lower-bound proof is built.  See DESIGN.md §4 for the provenance note.
+//
+// ------------------------------------------------------------------------
+// Algorithm.
+//
+// Symbols are {⊥=0, 1, …, k-1}.  Each process owns a *slot* in [0, (k-1)!);
+// slot s is statically assigned the path slot_path(s, k): a permutation of
+// {1..k-1} (Lehmer coding).  A run *installs* symbols into the register along
+// one path; installs only ever use fresh symbols, so the register's value
+// sequence is a permutation prefix, and the completed permutation names the
+// unique winning slot.
+//
+// Shared memory:
+//   cas           — the compare&swap-(k);
+//   announce[s]   — SWMR register, slot s's proposed identity (kNoId = none);
+//   confirm[i]    — MWMR register, the stage-i installed symbol (0 = none).
+//
+// Each process loops:
+//   1. read confirm[0..] to get the confirmed label π (longest non-0 prefix);
+//   2. if |π| = k-1: decide announce[path_owner(π)];
+//   3. pick a candidate slot extending π: its own if it still matches,
+//      otherwise the smallest *announced* slot extending π (helping — this
+//      is what keeps losers wait-free when winners crash);
+//   4. b := candidate's stage-|π| symbol;  prev := cas(last(π) → b);
+//   5. on success write confirm[|π|] = b; on failure, if prev is not in π it
+//      is the unique unconfirmed install — re-read confirm and, if prev is
+//      still missing, write confirm[|π2|] = prev (helper confirmation).
+//
+// ------------------------------------------------------------------------
+// Why it is correct (the invariants, each exercised by tests/):
+//
+// * No symbol reuse.  Installs use symbols outside π; once installed a
+//   symbol never leaves the history.  Hence the current register value
+//   uniquely determines the entire history — there is no ABA.
+//
+// * At most one unconfirmed install.  A process attempts cas(a → b) only
+//   with a = last symbol of a fully-confirmed prefix; if an unconfirmed
+//   install x is pending, the register holds x ≠ a and every attempt fails
+//   until someone confirms x.  Hence installs are gated on confirmation.
+//
+// * Helper confirmation is sound.  Suppose my cas returned x ∉ my π.  Then
+//   x was installed, so (gating) every stage below stage(x) was confirmed
+//   *before* x's install, which precedes my re-read — so my re-read sees a
+//   confirmed prefix of length ≥ stage(x).  And no install ever followed an
+//   unconfirmed x, so if my re-read still misses x, the confirmed prefix is
+//   exactly stage(x) long: writing confirm[|π2|] = x attributes x to its
+//   true stage.  All concurrent confirmers write the same (stage, symbol),
+//   so plain MWMR registers suffice.
+//
+// * Stale success is impossible.  cas(a → b) succeeds only when the register
+//   holds a; since symbols never repeat, a being current means my "stale"
+//   prefix was in fact the complete confirmed history.
+//
+// * Validity.  A process pushes a branch only for a candidate slot whose
+//   announce register it has read as non-empty; the final install therefore
+//   completes the path of an announced slot, and path_owner(π) is announced.
+//
+// * Bounded wait-freedom.  Every loop iteration ends in a decision, a
+//   successful install, a helper confirmation, or the observation of a
+//   longer confirmed prefix; each of those can happen at most k-1 times, so
+//   every process finishes within O(k) iterations of its *own* steps — even
+//   if every other process has crashed.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <vector>
+
+#include "core/path_math.h"
+#include "util/checked.h"
+
+namespace bss::core {
+
+/// announce[] value meaning "no process has proposed in this slot yet".
+inline constexpr std::int64_t kNoId = -1;
+
+/// Shared-memory interface the election runs against.  Two implementations:
+/// SimElectionMemory (deterministic simulator, src/core/sim_election.h) and
+/// AtomicElectionMemory (lock-free std::atomic, src/core/concurrent_election.h).
+template <class M>
+concept ElectionMemory = requires(M m, const M cm, int stage, int symbol,
+                                  std::uint64_t slot, std::int64_t id) {
+  { cm.k() } -> std::convertible_to<int>;
+  { m.cas(symbol, symbol) } -> std::convertible_to<int>;
+  { m.read_confirm(stage) } -> std::convertible_to<int>;
+  { m.write_confirm(stage, symbol) };
+  { m.read_announce(slot) } -> std::convertible_to<std::int64_t>;
+  { m.write_announce(slot, id) };
+};
+
+struct ElectOutcome {
+  std::int64_t leader = kNoId;
+  std::vector<int> label;  ///< the complete history this process decided on
+  int iterations = 0;      ///< main-loop iterations
+  int cas_accesses = 0;    ///< accesses to the compare&swap register
+  bool gave_up = false;    ///< only under ablated policies (see ElectPolicy)
+};
+
+/// Ablation knobs: the two helping mechanisms the wait-freedom argument
+/// leans on, individually removable to measure what breaks (bench_ablation).
+/// With both true (the default) the algorithm is the paper-grade one and
+/// give-ups are impossible; with either false, a process that exhausts its
+/// step bound returns gave_up instead of deciding (when allow_incomplete),
+/// which the validator counts as a wait-freedom failure.
+struct ElectPolicy {
+  /// Push the smallest announced slot extending the label when our own slot
+  /// fell out of the race.  Off: losers can only wait for winners — and
+  /// crashed winners strand them.
+  bool help_others = true;
+  /// Confirm another process's install observed via a failed c&s.  Off: an
+  /// installer crashing between its c&s and its confirm write wedges the
+  /// whole system.
+  bool helper_confirm = true;
+  /// Give up (leader = kNoId) instead of raising an invariant error when the
+  /// step bound is exceeded; only meaningful for ablated runs.
+  bool allow_incomplete = false;
+};
+
+/// Upper bound on main-loop iterations implied by the wait-freedom argument;
+/// exceeding it is an invariant violation (caught, not looped past).
+constexpr int max_iterations(int k) { return 4 * k + 8; }
+
+namespace detail {
+
+/// Longest non-zero prefix of confirm[0..k-2].
+template <ElectionMemory M>
+std::vector<int> read_confirmed_label(M& mem) {
+  const int k = mem.k();
+  std::vector<int> label;
+  for (int stage = 0; stage < k - 1; ++stage) {
+    const int symbol = mem.read_confirm(stage);
+    if (symbol == 0) break;
+    label.push_back(symbol);
+  }
+  return label;
+}
+
+/// Smallest announced slot whose path extends `label`; kNoSlot if none
+/// visible.  Enumerates only the (k-1-|label|)! extending slots.
+inline constexpr std::uint64_t kNoSlot = ~std::uint64_t{0};
+
+template <ElectionMemory M>
+std::uint64_t smallest_announced_extension(M& mem,
+                                           const std::vector<int>& label) {
+  const int k = mem.k();
+  const std::uint64_t extensions =
+      extension_count(k, bss::checked_cast<int>(label.size()));
+  for (std::uint64_t j = 0; j < extensions; ++j) {
+    const std::uint64_t slot = nth_slot_extending(label, j, k);
+    if (mem.read_announce(slot) != kNoId) return slot;
+  }
+  return kNoSlot;
+}
+
+}  // namespace detail
+
+/// Runs the election for the process owning `my_slot`, proposing `my_id`
+/// (must be >= 0).  Returns the elected identity; every correct process in
+/// the same system returns the same one.
+template <ElectionMemory M>
+ElectOutcome fvt_elect(M& mem, std::uint64_t my_slot, std::int64_t my_id,
+                       const ElectPolicy& policy = {}) {
+  const int k = mem.k();
+  expects(k >= 2, "fvt_elect requires k >= 2");
+  expects(my_slot < slot_count(k), "slot out of range for this k");
+  expects(my_id >= 0, "proposed identity must be non-negative");
+
+  ElectOutcome outcome;
+  mem.write_announce(my_slot, my_id);
+
+  const std::vector<int> my_path = slot_path(my_slot, k);
+  for (;;) {
+    if (outcome.iterations >= max_iterations(k)) {
+      if (policy.allow_incomplete) {
+        outcome.gave_up = true;
+        return outcome;
+      }
+      expects(false, "election exceeded its wait-freedom step bound");
+    }
+    ++outcome.iterations;
+
+    std::vector<int> label = detail::read_confirmed_label(mem);
+    const int depth = bss::checked_cast<int>(label.size());
+
+    if (depth == k - 1) {
+      // Complete permutation: the label names the winner.
+      const std::uint64_t owner = path_owner(label, k);
+      const std::int64_t winner = mem.read_announce(owner);
+      expects(winner != kNoId, "elected slot was never announced (validity)");
+      outcome.leader = winner;
+      outcome.label = std::move(label);
+      return outcome;
+    }
+
+    // Candidate slot whose path we push forward this round.
+    std::uint64_t candidate;
+    if (slot_extends(my_slot, label, k)) {
+      candidate = my_slot;
+    } else if (policy.help_others) {
+      candidate = detail::smallest_announced_extension(mem, label);
+      // Some announced slot always extends the label: the last install was
+      // itself pushed along an announced slot's path (validity invariant).
+      expects(candidate != detail::kNoSlot,
+              "no announced slot extends the confirmed label");
+    } else {
+      // Ablated: losers push nothing and can only re-read.
+      continue;
+    }
+    const int branch = slot_path(candidate, k)[static_cast<std::size_t>(depth)];
+    const int expected =
+        label.empty() ? 0 /* ⊥ */ : label.back();
+
+    ++outcome.cas_accesses;
+    const int prev = mem.cas(expected, branch);
+    if (prev == expected) {
+      // We installed `branch` at stage `depth`.
+      mem.write_confirm(depth, branch);
+      continue;
+    }
+
+    // Failure: `prev` was current.  If it is outside our (stale) label it is
+    // either freshly confirmed by now or the unique unconfirmed install.
+    bool in_label = prev == 0;
+    for (const int symbol : label) in_label = in_label || symbol == prev;
+    if (!in_label && policy.helper_confirm) {
+      const std::vector<int> relabel = detail::read_confirmed_label(mem);
+      bool confirmed = false;
+      for (const int symbol : relabel) confirmed = confirmed || symbol == prev;
+      if (!confirmed) {
+        // Helper confirmation; see the invariant note in the file header.
+        mem.write_confirm(bss::checked_cast<int>(relabel.size()), prev);
+      }
+    }
+  }
+}
+
+}  // namespace bss::core

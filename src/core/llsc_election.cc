@@ -1,0 +1,57 @@
+#include "core/llsc_election.h"
+
+#include "util/checked.h"
+
+namespace bss::core {
+
+LlScElectionState::LlScElectionState(int k) : llsc("llsc", k) {
+  confirm.reserve(static_cast<std::size_t>(k - 1));
+  for (int stage = 0; stage < k - 1; ++stage) {
+    confirm.emplace_back("confirm[" + std::to_string(stage) + "]", 0);
+  }
+  const std::uint64_t slots = slot_count(k);
+  announce.reserve(slots);
+  for (std::uint64_t slot = 0; slot < slots; ++slot) {
+    announce.emplace_back("announce[" + std::to_string(slot) + "]",
+                          sim::SwmrRegister<std::int64_t>::kAnyWriter, kNoId);
+  }
+}
+
+LlScElectionReport run_llsc_election(int k, int n, sim::Scheduler& scheduler,
+                                     const sim::CrashPlan& crashes) {
+  expects(n >= 1 && static_cast<std::uint64_t>(n) <= slot_count(k),
+          "LL/SC election capacity is (k-1)!");
+  LlScElectionState state(k);
+  LlScElectionReport report;
+  report.outcomes.resize(static_cast<std::size_t>(n));
+
+  sim::SimEnv env;
+  for (int pid = 0; pid < n; ++pid) {
+    env.add_process([&state, &report, pid](sim::Ctx& ctx) {
+      LlScElectionMemory memory(state, ctx);
+      report.outcomes[static_cast<std::size_t>(pid)] =
+          fvt_elect(memory, static_cast<std::uint64_t>(pid), 1000 + pid);
+    });
+  }
+  report.run = env.run(scheduler, crashes);
+
+  std::int64_t leader = kNoId;
+  for (int pid = 0; pid < n; ++pid) {
+    if (report.run.outcomes[static_cast<std::size_t>(pid)] !=
+        sim::ProcOutcome::kFinished) {
+      report.outcomes[static_cast<std::size_t>(pid)].reset();
+      continue;
+    }
+    const auto& outcome = report.outcomes[static_cast<std::size_t>(pid)];
+    if (outcome.has_value()) {
+      if (leader == kNoId) leader = outcome->leader;
+      if (outcome->leader != leader) report.consistent = false;
+      if (outcome->leader < 1000 || outcome->leader >= 1000 + n) {
+        report.valid = false;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace bss::core

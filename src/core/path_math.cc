@@ -1,0 +1,91 @@
+#include "core/path_math.h"
+
+#include <algorithm>
+
+#include "util/checked.h"
+#include "util/factoradic.h"
+
+namespace bss::core {
+
+namespace {
+
+// Symbols still unused after consuming `prefix`, ascending.
+std::vector<int> available_symbols(std::span<const int> prefix, int k) {
+  std::vector<bool> used(static_cast<std::size_t>(k), false);
+  for (const int symbol : prefix) {
+    expects(symbol >= 1 && symbol < k, "path symbol outside {1..k-1}");
+    expects(!used[static_cast<std::size_t>(symbol)],
+            "path prefix repeats a symbol");
+    used[static_cast<std::size_t>(symbol)] = true;
+  }
+  std::vector<int> available;
+  for (int symbol = 1; symbol < k; ++symbol) {
+    if (!used[static_cast<std::size_t>(symbol)]) available.push_back(symbol);
+  }
+  return available;
+}
+
+}  // namespace
+
+std::uint64_t slot_count(int k) {
+  expects(k >= 2, "compare&swap-(k) needs k >= 2");
+  return factorial_u64(k - 1);
+}
+
+std::vector<int> slot_path(std::uint64_t slot, int k) {
+  expects(slot < slot_count(k), "slot out of range");
+  const std::vector<int> perm = nth_permutation(slot, k - 1);
+  std::vector<int> path;
+  path.reserve(perm.size());
+  for (const int element : perm) path.push_back(element + 1);
+  return path;
+}
+
+std::uint64_t path_owner(std::span<const int> full_path, int k) {
+  expects(static_cast<int>(full_path.size()) == k - 1,
+          "path_owner needs a complete path");
+  std::vector<int> perm;
+  perm.reserve(full_path.size());
+  for (const int symbol : full_path) {
+    expects(symbol >= 1 && symbol < k, "path symbol outside {1..k-1}");
+    perm.push_back(symbol - 1);
+  }
+  return permutation_rank(perm);
+}
+
+bool slot_extends(std::uint64_t slot, std::span<const int> prefix, int k) {
+  const std::vector<int> path = slot_path(slot, k);
+  if (prefix.size() > path.size()) return false;
+  return std::equal(prefix.begin(), prefix.end(), path.begin());
+}
+
+std::uint64_t extension_count(int k, int prefix_len) {
+  expects(prefix_len >= 0 && prefix_len <= k - 1, "prefix length out of range");
+  return factorial_u64(k - 1 - prefix_len);
+}
+
+std::uint64_t nth_slot_extending(std::span<const int> prefix, std::uint64_t j,
+                                 int k) {
+  const int width = k - 1;
+  const int depth = bss::checked_cast<int>(prefix.size());
+  expects(j < extension_count(k, depth), "extension index out of range");
+  // Fixed digits: positions of the prefix symbols among the then-available
+  // symbol pools.
+  std::vector<int> digits;
+  digits.reserve(static_cast<std::size_t>(width));
+  std::vector<int> consumed;
+  for (const int symbol : prefix) {
+    const std::vector<int> pool = available_symbols(consumed, k);
+    const auto it = std::lower_bound(pool.begin(), pool.end(), symbol);
+    expects(it != pool.end() && *it == symbol, "prefix symbol not available");
+    digits.push_back(bss::checked_cast<int>(it - pool.begin()));
+    consumed.push_back(symbol);
+  }
+  // Free digits: the j-th combination in factoradic order.  Because slot
+  // indices weight earlier digits more, ascending j gives ascending slots.
+  const std::vector<int> tail = factoradic_digits(j, width - depth);
+  digits.insert(digits.end(), tail.begin(), tail.end());
+  return factoradic_index(digits);
+}
+
+}  // namespace bss::core

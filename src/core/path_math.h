@@ -1,0 +1,44 @@
+// Slot <-> permutation-path mathematics for the FirstValueTree election.
+//
+// The algorithm statically assigns each of the (k-1)! process slots a
+// distinct *path*: a permutation of the non-initial symbols {1, …, k-1} of a
+// compare&swap-(k).  A run installs symbols along one path (its "label" in
+// Afek-Stupp terms), and the unique slot whose path equals the completed
+// label owns the election.
+//
+// The mapping is the factorial number system (Lehmer codes): slot s's digit
+// d_i selects the (d_i)-th smallest symbol not used in the first i stages.
+// Two properties the algorithm leans on, both tested:
+//   * paths are exactly the permutations of {1..k-1}: the map is a bijection;
+//   * slots extending a given prefix are enumerable in ascending slot order,
+//     so "smallest announced slot extending the current label" is computable
+//     without scanning all (k-1)! slots.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bss::core {
+
+/// Number of process slots supported by a compare&swap-(k): (k-1)!.
+std::uint64_t slot_count(int k);
+
+/// The full path (permutation of {1..k-1}) assigned to `slot`.
+std::vector<int> slot_path(std::uint64_t slot, int k);
+
+/// The slot owning a *complete* path (inverse of slot_path).
+std::uint64_t path_owner(std::span<const int> full_path, int k);
+
+/// True iff slot_path(slot, k) has `prefix` as a prefix.
+bool slot_extends(std::uint64_t slot, std::span<const int> prefix, int k);
+
+/// How many slots extend `prefix`: (k-1-|prefix|)!.
+std::uint64_t extension_count(int k, int prefix_len);
+
+/// The j-th smallest slot whose path extends `prefix`
+/// (j in [0, extension_count)).  Ascending in j.
+std::uint64_t nth_slot_extending(std::span<const int> prefix, std::uint64_t j,
+                                 int k);
+
+}  // namespace bss::core

@@ -1,0 +1,42 @@
+#include "emulation/board.h"
+
+#include <algorithm>
+
+#include "util/permutation.h"
+
+namespace bss::emu {
+
+bool is_label_prefix(const Label& prefix, const Label& full) {
+  if (prefix.size() > full.size()) return false;
+  return std::equal(prefix.begin(), prefix.end(), full.begin());
+}
+
+bool labels_compatible(const Label& a, const Label& b) {
+  return is_label_prefix(a, b) || is_label_prefix(b, a);
+}
+
+std::string label_string(const Label& label) {
+  return bss::label_to_string(label);
+}
+
+void Board::write(const std::string& reg, const Label& label,
+                  std::int64_t value) {
+  registers_[reg].push_back({label, value});
+}
+
+std::optional<std::int64_t> Board::read(const std::string& reg,
+                                        const Label& label) const {
+  const auto it = registers_.find(reg);
+  if (it == registers_.end()) return std::nullopt;
+  for (auto entry = it->second.rbegin(); entry != it->second.rend(); ++entry) {
+    if (labels_compatible(entry->label, label)) return entry->value;
+  }
+  return std::nullopt;
+}
+
+std::size_t Board::write_count(const std::string& reg) const {
+  const auto it = registers_.find(reg);
+  return it == registers_.end() ? 0 : it->second.size();
+}
+
+}  // namespace bss::emu

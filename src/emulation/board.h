@@ -1,0 +1,52 @@
+// Emulated read/write registers for algorithm A — the paper's §3.1
+// "R/W registers" construction.
+//
+// In the reduction, the emulators have only read/write memory, so each
+// register of A is implemented as an append-only list of (label, value)
+// pairs: a write appends the writer's current label with the value; a read
+// returns the latest value whose label is a prefix OR an extension of the
+// reading emulator's label — writes from a diverged group (incomparable
+// label) are invisible, which is what keeps the per-group runs independent
+// while sharing their common prefix.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bss::emu {
+
+/// A label: the sequence of first-values of a group's run, starting with ⊥
+/// (symbol 0).  Labels form a tree; two labels are compatible iff one is a
+/// prefix of the other.
+using Label = std::vector<int>;
+
+bool is_label_prefix(const Label& prefix, const Label& full);
+bool labels_compatible(const Label& a, const Label& b);
+std::string label_string(const Label& label);
+
+class Board {
+ public:
+  struct Entry {
+    Label label;
+    std::int64_t value;
+  };
+
+  void write(const std::string& reg, const Label& label, std::int64_t value);
+
+  /// Latest value whose label is compatible with `label`; nullopt if no
+  /// compatible write exists (the register's initial state).
+  std::optional<std::int64_t> read(const std::string& reg,
+                                   const Label& label) const;
+
+  /// Number of writes ever performed on `reg` (instrumentation).
+  std::size_t write_count(const std::string& reg) const;
+  std::size_t register_count() const { return registers_.size(); }
+
+ private:
+  std::map<std::string, std::vector<Entry>> registers_;
+};
+
+}  // namespace bss::emu

@@ -1,0 +1,58 @@
+// Post-hoc verification of an emulation run — Lemma 1.2, operationalized.
+//
+// For every maximal label l the driver produced, the restricted operation
+// sequence R|l (all v-process steps whose label is a prefix of l) must be a
+// legal run of algorithm A.  The checks, mapped to the lemma's clauses:
+//
+//   (C1) read/write legality: every emulated register read in R|l returned
+//        the value of the latest preceding write in R|l (clause 1 for
+//        virtual read/write operations; the label-compatibility rule makes
+//        all writes in R|l visible to all its readers);
+//   (C2) history well-formedness: h(l) starts at ⊥, consecutive values
+//        differ, and for a first-value algorithm is a permutation prefix
+//        (clause 2: the history is the register's change list);
+//   (C3) success accounting: every emulated successful c&s (a -> b) in R|l
+//        is matched by an (a -> b) transition in h(l) — successes never
+//        exceed transitions (clause 3 / the CanRebalance soundness);
+//   (C4) c&s result soundness per v-process: a v-process's successful c&s
+//        returned its expected value, and every result lies in the value
+//        domain;
+//   (C5) group agreement: emulators sharing a maximal label decided the
+//        same value, and the number of distinct labels is at most (k-1)!
+//        (the set-consensus bound the reduction delivers).
+//
+// C5 presumes A is a leader election (it is asserted only when
+// `expect_agreement`); the token-race exerciser runs with it disabled.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "emulation/driver.h"
+
+namespace bss::emu {
+
+struct ReductionVerdict {
+  bool rw_legal = false;        // C1
+  bool history_sound = false;   // C2
+  bool matching_sound = false;  // C3
+  bool cas_sound = false;       // C4
+  bool groups_agree = false;    // C5 (vacuously true when not expected)
+  std::string diagnosis;
+
+  bool ok() const {
+    return rw_legal && history_sound && matching_sound && cas_sound &&
+           groups_agree;
+  }
+};
+
+struct ReductionCheckOptions {
+  bool expect_agreement = true;       ///< A is a leader election
+  bool expect_first_value = true;     ///< A never reuses symbols (fvt)
+};
+
+ReductionVerdict verify_reduction(const EmulationDriver& driver,
+                                  const EmuStats& stats,
+                                  const ReductionCheckOptions& options = {});
+
+}  // namespace bss::emu

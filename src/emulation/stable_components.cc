@@ -1,0 +1,112 @@
+#include "emulation/stable_components.h"
+
+#include <algorithm>
+
+#include "util/checked.h"
+
+namespace bss::emu {
+
+std::int64_t mu_threshold(int x, int m) {
+  expects(x >= 1, "mu threshold index starts at 1");
+  expects(m >= 1, "emulator count must be positive");
+  std::int64_t total = 0;
+  std::int64_t power = static_cast<std::int64_t>(m);  // m^1
+  for (int i = 2; i <= x; ++i) {
+    expects(power <= (std::int64_t{1} << 56) / m, "mu threshold overflows");
+    power *= m;  // m^i
+    total += power;
+  }
+  return total;
+}
+
+namespace {
+
+// Reachability within `nodes` using edges of weight >= min_weight.
+bool reaches(const ExcessGraph& graph, const std::vector<int>& nodes,
+             std::int64_t min_weight, int from, int to) {
+  if (from == to) return true;
+  std::vector<int> stack{from};
+  std::vector<bool> seen(static_cast<std::size_t>(graph.k()), false);
+  seen[static_cast<std::size_t>(from)] = true;
+  while (!stack.empty()) {
+    const int node = stack.back();
+    stack.pop_back();
+    for (const int next : nodes) {
+      if (seen[static_cast<std::size_t>(next)] || next == node) continue;
+      if (graph.weight(node, next) < min_weight) continue;
+      if (next == to) return true;
+      seen[static_cast<std::size_t>(next)] = true;
+      stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> thresholded_components(
+    const ExcessGraph& graph, const std::vector<int>& nodes,
+    std::int64_t min_weight) {
+  std::vector<std::vector<int>> components;
+  std::vector<bool> assigned(static_cast<std::size_t>(graph.k()), false);
+  for (const int seed : nodes) {
+    if (assigned[static_cast<std::size_t>(seed)]) continue;
+    std::vector<int> component;
+    for (const int other : nodes) {
+      if (assigned[static_cast<std::size_t>(other)]) continue;
+      if (reaches(graph, nodes, min_weight, seed, other) &&
+          reaches(graph, nodes, min_weight, other, seed)) {
+        component.push_back(other);
+      }
+    }
+    for (const int member : component) {
+      assigned[static_cast<std::size_t>(member)] = true;
+    }
+    std::sort(component.begin(), component.end());
+    components.push_back(std::move(component));
+  }
+  return components;
+}
+
+bool is_stable_component(const ExcessGraph& graph,
+                         const std::vector<int>& nodes, int k, int m) {
+  const int j = checked_cast<int>(nodes.size());
+  if (j <= 1) return true;  // "a single node is also a stable component"
+  for (int i = k - j + 2; i <= k; ++i) {
+    const std::int64_t threshold = mu_threshold(k - j + i, m);
+    const auto pieces = thresholded_components(graph, nodes, threshold);
+    const int budget = i - (k - j + 1);
+    if (checked_cast<int>(pieces.size()) > budget) return false;
+  }
+  return true;
+}
+
+bool is_super_stable_component(const ExcessGraph& graph,
+                               const std::vector<int>& nodes, int k, int m) {
+  const int j = checked_cast<int>(nodes.size());
+  if (j <= 2) return true;  // "a C_1 component of two nodes is always a SSC"
+  for (int i = k - j + 4; i <= k; ++i) {
+    // Definition 3's range is "k-j+3 < i <= k" with budget i-(k-j+2).
+    const std::int64_t threshold = mu_threshold(k - j + i, m);
+    const auto pieces = thresholded_components(graph, nodes, threshold);
+    const int budget = i - (k - j + 2);
+    if (checked_cast<int>(pieces.size()) > budget) return false;
+  }
+  return true;
+}
+
+StableDecomposition analyze_stability(const ExcessGraph& graph,
+                                      const std::vector<int>& nodes, int k,
+                                      int m) {
+  StableDecomposition decomposition;
+  decomposition.components = thresholded_components(graph, nodes, 1);
+  decomposition.all_stable = true;
+  for (const auto& component : decomposition.components) {
+    if (!is_stable_component(graph, component, k, m)) {
+      decomposition.all_stable = false;
+    }
+  }
+  return decomposition;
+}
+
+}  // namespace bss::emu

@@ -1,0 +1,66 @@
+// Stable and super-stable components (Definitions 2 and 3).
+//
+// The appendix's induction (Lemma 1.2, clause 3) describes the excess graph
+// of a run as "a group of 0 or more stable set components connected by a
+// one-way path of weight k or more".  A *stable component* is a strongly
+// connected chunk of the excess graph whose internal connectivity degrades
+// gracefully as the weight threshold rises: raising the threshold by one
+// more μ-level may split it into at most one more piece.  Super-stability
+// (Definition 3) is the same property with one level of slack — the
+// headroom the induction spends when an update consumes suspended
+// v-processes.
+//
+// Thresholds: μ_1 = 0 and μ_x = Σ_{i=2}^x m^i (the paper's Σ with m = the
+// emulator count; the extended abstract's OCR garbles some subscripts — the
+// reading implemented here is documented next to each formula and is the
+// one that makes Definition 2's arithmetic self-consistent and Lemma 1.3's
+// base case ("a two-node C_1 component is always super stable") true).
+//
+// This module computes thresholded SCC decompositions and the two
+// predicates, and exposes a decomposition check used on live emulation
+// states.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "emulation/excess.h"
+
+namespace bss::emu {
+
+/// μ_x for the given emulator count m: μ_1 = 0, μ_x = Σ_{i=2}^x m^i.
+std::int64_t mu_threshold(int x, int m);
+
+/// Strongly connected components of the excess graph restricted to the node
+/// subset `nodes` and to edges of weight >= min_weight.  Singleton
+/// components are included.  Deterministic order (by smallest member).
+std::vector<std::vector<int>> thresholded_components(
+    const ExcessGraph& graph, const std::vector<int>& nodes,
+    std::int64_t min_weight);
+
+/// Definition 2: `nodes` (a C_1 component of G_1, i.e. strongly connected at
+/// weight >= 1) of size j is STABLE iff for every i with k-j+2 <= i <= k it
+/// splits into at most i-(k-j+1) maximal components at threshold
+/// μ_{k-j+i}.  A single node is stable.
+bool is_stable_component(const ExcessGraph& graph,
+                         const std::vector<int>& nodes, int k, int m);
+
+/// Definition 3: super-stable = the same with one level of slack (the range
+/// starts at k-j+3 and the budget is i-(k-j+2)); a two-node component is
+/// always super stable.
+bool is_super_stable_component(const ExcessGraph& graph,
+                               const std::vector<int>& nodes, int k, int m);
+
+struct StableDecomposition {
+  std::vector<std::vector<int>> components;  ///< C_1 components of G_1
+  bool all_stable = false;                   ///< every component stable
+};
+
+/// Decomposes the subgraph induced by `nodes` into its weight->=1 strongly
+/// connected components and checks each for stability — the executable form
+/// of Lemma 1.2 clause 3's structural claim.
+StableDecomposition analyze_stability(const ExcessGraph& graph,
+                                      const std::vector<int>& nodes, int k,
+                                      int m);
+
+}  // namespace bss::emu

@@ -1,0 +1,199 @@
+#include "game/exhaustive.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace bss::game {
+
+namespace {
+
+// Mutable mirror of the game state tuned for search (the public engine keeps
+// a log; the search needs cheap do/undo and hashing instead).
+struct SearchState {
+  int k = 0;
+  int m = 0;
+  std::vector<int> positions;
+  std::vector<bool> painted;       // k*k
+  std::vector<bool> tokens;        // m*k
+
+  bool edge(int from, int to) const {
+    return painted[static_cast<std::size_t>(from * k + to)];
+  }
+
+  bool reaches(int from, int to) const {
+    if (from == to) return true;
+    std::vector<bool> seen(static_cast<std::size_t>(k), false);
+    std::vector<int> stack{from};
+    seen[static_cast<std::size_t>(from)] = true;
+    while (!stack.empty()) {
+      const int node = stack.back();
+      stack.pop_back();
+      for (int next = 0; next < k; ++next) {
+        if (!edge(node, next) || seen[static_cast<std::size_t>(next)]) continue;
+        if (next == to) return true;
+        seen[static_cast<std::size_t>(next)] = true;
+        stack.push_back(next);
+      }
+    }
+    return false;
+  }
+
+  std::uint64_t encode() const {
+    // Dense bit packing; guarded by expects() in solve_exhaustive.
+    std::uint64_t code = 0;
+    for (const int position : positions) {
+      code = code * static_cast<std::uint64_t>(k) +
+             static_cast<std::uint64_t>(position);
+    }
+    for (const bool bit : painted) code = (code << 1) | (bit ? 1u : 0u);
+    for (const bool bit : tokens) code = (code << 1) | (bit ? 1u : 0u);
+    return code;
+  }
+};
+
+class Solver {
+ public:
+  Solver(SearchState state, const ExhaustiveLimits& limits)
+      : state_(std::move(state)), limits_(limits) {}
+
+  std::uint64_t solve() { return best_from_here(); }
+  std::uint64_t states_explored() const { return memo_.size(); }
+
+ private:
+  std::uint64_t best_from_here() {
+    const std::uint64_t code = state_.encode();
+    if (const auto it = memo_.find(code); it != memo_.end()) {
+      expects(it->second != kInProgress,
+              "move/jump state cycle found: this would refute Lemma 1.1");
+      return it->second;
+    }
+    expects(memo_.size() < limits_.max_states,
+            "exhaustive game search exceeded its state budget");
+    memo_[code] = kInProgress;
+
+    std::uint64_t best = 0;
+    const int k = state_.k;
+    const int m = state_.m;
+    for (int agent = 0; agent < m; ++agent) {
+      const int from = state_.positions[static_cast<std::size_t>(agent)];
+      for (int to = 0; to < k; ++to) {
+        if (to == from) continue;
+        // Move, unless it closes a cycle (painting from->to with to ~> from).
+        const bool already = state_.edge(from, to);
+        if (already || !state_.reaches(to, from)) {
+          const auto undo = apply_move(agent, from, to, already);
+          best = std::max(best, 1 + best_from_here());
+          undo_move(agent, from, to, undo);
+        }
+        // Jump.
+        if (state_.tokens[static_cast<std::size_t>(agent * k + to)]) {
+          const auto undo = apply_jump(agent, from, to);
+          best = std::max(best, best_from_here());
+          undo_jump(agent, from, to, undo);
+        }
+      }
+    }
+    memo_[code] = best;
+    return best;
+  }
+
+  struct MoveUndo {
+    std::vector<bool> prior_tokens;  // tokens[*][to] before the move
+    bool painted_now = false;        // this move painted a fresh edge
+  };
+
+  MoveUndo apply_move(int agent, int from, int to, bool already_painted) {
+    MoveUndo undo;
+    const int k = state_.k;
+    if (!already_painted) {
+      state_.painted[static_cast<std::size_t>(from * k + to)] = true;
+      undo.painted_now = true;
+    }
+    undo.prior_tokens.resize(static_cast<std::size_t>(state_.m));
+    for (int other = 0; other < state_.m; ++other) {
+      undo.prior_tokens[static_cast<std::size_t>(other)] =
+          state_.tokens[static_cast<std::size_t>(other * k + to)];
+      if (other != agent) {
+        state_.tokens[static_cast<std::size_t>(other * k + to)] = true;
+      }
+    }
+    // Arrival consumes the mover's own token at the destination.
+    state_.tokens[static_cast<std::size_t>(agent * k + to)] = false;
+    state_.positions[static_cast<std::size_t>(agent)] = to;
+    return undo;
+  }
+
+  void undo_move(int agent, int from, int to, const MoveUndo& undo) {
+    const int k = state_.k;
+    state_.positions[static_cast<std::size_t>(agent)] = from;
+    for (int other = 0; other < state_.m; ++other) {
+      state_.tokens[static_cast<std::size_t>(other * k + to)] =
+          undo.prior_tokens[static_cast<std::size_t>(other)];
+    }
+    if (undo.painted_now) {
+      state_.painted[static_cast<std::size_t>(from * k + to)] = false;
+    }
+  }
+
+  struct JumpUndo {};
+
+  JumpUndo apply_jump(int agent, int from, int to) {
+    (void)from;
+    state_.tokens[static_cast<std::size_t>(agent * state_.k + to)] = false;
+    state_.positions[static_cast<std::size_t>(agent)] = to;
+    return {};
+  }
+
+  void undo_jump(int agent, int from, int to, JumpUndo) {
+    state_.tokens[static_cast<std::size_t>(agent * state_.k + to)] = true;
+    state_.positions[static_cast<std::size_t>(agent)] = from;
+  }
+
+  static constexpr std::uint64_t kInProgress = ~std::uint64_t{0};
+
+  SearchState state_;
+  ExhaustiveLimits limits_;
+  std::unordered_map<std::uint64_t, std::uint64_t> memo_;
+};
+
+}  // namespace
+
+ExhaustiveResult solve_exhaustive(const MoveJumpGame& game,
+                                  const ExhaustiveLimits& limits) {
+  const int k = game.k();
+  const int m = game.m();
+  // encode() packs m*log2(k) + k^2 + m*k bits into 64.
+  double bits = static_cast<double>(k * k + m * k);
+  for (int i = 0; i < m; ++i) bits += 2;  // k <= 4 in practice
+  expects(k * k + m * k + 2 * m <= 60,
+          "instance too large for exhaustive search encoding");
+  (void)bits;
+
+  SearchState state;
+  state.k = k;
+  state.m = m;
+  state.positions.resize(static_cast<std::size_t>(m));
+  for (int agent = 0; agent < m; ++agent) {
+    state.positions[static_cast<std::size_t>(agent)] = game.position(agent);
+  }
+  state.painted.assign(static_cast<std::size_t>(k * k), false);
+  for (int from = 0; from < k; ++from) {
+    for (int to = 0; to < k; ++to) {
+      state.painted[static_cast<std::size_t>(from * k + to)] =
+          game.edge_painted(from, to);
+    }
+  }
+  // Fresh games have no enabled tokens; mid-game states are not supported
+  // (the engine does not expose its token table), so require a fresh game.
+  expects(game.move_count() == 0 && game.log().empty(),
+          "solve_exhaustive expects an unplayed game");
+  state.tokens.assign(static_cast<std::size_t>(m * k), false);
+
+  Solver solver(std::move(state), limits);
+  ExhaustiveResult result;
+  result.max_moves = solver.solve();
+  result.states_explored = solver.states_explored();
+  return result;
+}
+
+}  // namespace bss::game

@@ -1,0 +1,38 @@
+// Exact solution of tiny move/jump instances by exhaustive search.
+//
+// Lemma 1.1 gives the upper bound m^k; this module computes the TRUE maximum
+// number of moves for small (k, m) by memoized depth-first search over the
+// full game-state graph (positions × painted edges × jump tokens).  The
+// bench's T2 table prints exact maxima next to the bound; tests assert
+// max <= m^k and that the search agrees with hand-checked instances.
+//
+// A revisited state on the current search path would mean an unbounded-move
+// play exists — a refutation of the Lemma — and is reported as an invariant
+// violation rather than looped over.  (Jump-only cycles are impossible:
+// every jump strictly consumes a token.)
+#pragma once
+
+#include <cstdint>
+
+#include "game/game.h"
+
+namespace bss::game {
+
+struct ExhaustiveResult {
+  std::uint64_t max_moves = 0;
+  std::uint64_t states_explored = 0;
+};
+
+struct ExhaustiveLimits {
+  /// Abort (by invariant error) past this many distinct states — keeps an
+  /// accidentally huge instance from hanging the test suite.
+  std::uint64_t max_states = 50'000'000;
+};
+
+/// Exact maximum move count over all plays of the game from its current
+/// state.  Feasible roughly for k*m <= 8 (state space grows as
+/// k^m * 2^(k(k-1)) * 2^(km)).
+ExhaustiveResult solve_exhaustive(const MoveJumpGame& game,
+                                  const ExhaustiveLimits& limits = {});
+
+}  // namespace bss::game

@@ -1,0 +1,100 @@
+#include "game/potential.h"
+
+#include <algorithm>
+
+namespace bss::game {
+
+namespace {
+
+// Topological order of the painted graph with edges from high to low index.
+std::vector<int> topological_index(const MoveJumpGame& game) {
+  const int k = game.k();
+  std::vector<int> out_degree(static_cast<std::size_t>(k), 0);
+  for (int from = 0; from < k; ++from) {
+    for (int to = 0; to < k; ++to) {
+      if (game.edge_painted(from, to)) {
+        ++out_degree[static_cast<std::size_t>(from)];
+      }
+    }
+  }
+  // Kahn's algorithm from the sinks up: nodes with no outgoing painted edge
+  // get the lowest indices.
+  std::vector<int> index(static_cast<std::size_t>(k), -1);
+  std::vector<int> ready;
+  for (int node = 0; node < k; ++node) {
+    if (out_degree[static_cast<std::size_t>(node)] == 0) ready.push_back(node);
+  }
+  int next_index = 0;
+  while (!ready.empty()) {
+    // Deterministic: smallest node id first.
+    std::sort(ready.begin(), ready.end(), std::greater<int>());
+    const int node = ready.back();
+    ready.pop_back();
+    index[static_cast<std::size_t>(node)] = next_index++;
+    for (int from = 0; from < k; ++from) {
+      if (game.edge_painted(from, node)) {
+        if (--out_degree[static_cast<std::size_t>(from)] == 0) {
+          ready.push_back(from);
+        }
+      }
+    }
+  }
+  expects(next_index == k, "painted graph contains a cycle");
+  return index;
+}
+
+std::uint64_t weight(int m, int topo) {
+  std::uint64_t value = 1;
+  for (int i = 0; i < topo; ++i) value *= static_cast<std::uint64_t>(m);
+  return value;
+}
+
+}  // namespace
+
+PotentialReplay analyze_potential(const MoveJumpGame& game) {
+  PotentialReplay replay;
+  replay.topo_index = topological_index(game);
+  replay.bound = game.bound();
+
+  const int m = game.m();
+  // Reconstruct starting positions by rewinding the log.
+  std::vector<int> position(static_cast<std::size_t>(m), -1);
+  for (auto it = game.log().rbegin(); it != game.log().rend(); ++it) {
+    position[static_cast<std::size_t>(it->agent)] = it->from;
+  }
+  for (int agent = 0; agent < m; ++agent) {
+    if (position[static_cast<std::size_t>(agent)] == -1) {
+      position[static_cast<std::size_t>(agent)] = game.position(agent);
+    }
+  }
+
+  const auto phi_of = [&](const std::vector<int>& positions) {
+    std::uint64_t phi = 0;
+    for (const int node : positions) {
+      phi += weight(m, replay.topo_index[static_cast<std::size_t>(node)]);
+    }
+    return phi;
+  };
+
+  replay.phi_start = phi_of(position);
+  replay.phi.push_back(replay.phi_start);
+  replay.all_moves_descend = true;
+  for (const Action& action : game.log()) {
+    const auto agent = static_cast<std::size_t>(action.agent);
+    if (action.kind == ActionKind::kMove) {
+      const int from_topo =
+          replay.topo_index[static_cast<std::size_t>(action.from)];
+      const int to_topo = replay.topo_index[static_cast<std::size_t>(action.to)];
+      if (to_topo >= from_topo) replay.all_moves_descend = false;
+      const std::uint64_t drop =
+          weight(m, from_topo) -
+          (to_topo < from_topo ? weight(m, to_topo) : weight(m, from_topo));
+      replay.move_drops.push_back(drop);
+    }
+    position[agent] = action.to;
+    replay.phi.push_back(phi_of(position));
+  }
+  return replay;
+}
+
+}  // namespace bss::game

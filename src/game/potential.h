@@ -1,0 +1,39 @@
+// Alon's potential-function analysis of the move/jump game, replayable.
+//
+// Topologically sort the FINAL painted (acyclic) graph so every painted edge
+// goes from a higher-indexed node to a lower-indexed one; give an agent at
+// topological index i the weight m^i, and let Φ be the sum of agent weights.
+// Then:  Φ_start <= m * m^(k-1) = m^k,  Φ >= m * m^0 > 0 always,  and every
+// Move strictly decreases Φ (for m >= 2): the mover descends from index i to
+// index j < i, losing m^i - m^j >= m^j (m-1) — enough to pay for the at most
+// m-1 jumps into j that the move enables, with 1 left over.  Hence at most
+// m^k moves.  PotentialReplay recomputes Φ along a finished game's log and
+// exposes each of those inequalities for the tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "game/game.h"
+
+namespace bss::game {
+
+struct PotentialReplay {
+  /// Topological index of each node in the final painted graph (higher index
+  /// = earlier in every painted edge).
+  std::vector<int> topo_index;
+  /// Φ before any action, and after each logged action.
+  std::vector<std::uint64_t> phi;
+  /// For each logged Move: Φ decrease of the mover alone (>= 1 when m >= 2).
+  std::vector<std::uint64_t> move_drops;
+  std::uint64_t phi_start = 0;
+  std::uint64_t bound = 0;  // m^k
+  bool all_moves_descend = false;  // every move goes down in topo order
+};
+
+/// Analyzes a finished (or abandoned) game; the painted graph must be
+/// acyclic, which it is whenever the game engine was used (cycle-closing
+/// moves are rejected).
+PotentialReplay analyze_potential(const MoveJumpGame& game);
+
+}  // namespace bss::game

@@ -1,0 +1,99 @@
+#include "game/strategy.h"
+
+#include <vector>
+
+namespace bss::game {
+
+namespace {
+
+std::vector<Action> legal_moves(const MoveJumpGame& game) {
+  std::vector<Action> actions;
+  for (int agent = 0; agent < game.m(); ++agent) {
+    for (int to = 0; to < game.k(); ++to) {
+      if (game.can_move(agent, to) && !game.move_closes_cycle(agent, to)) {
+        actions.push_back({ActionKind::kMove, agent, game.position(agent), to});
+      }
+    }
+  }
+  return actions;
+}
+
+std::vector<Action> legal_jumps(const MoveJumpGame& game) {
+  std::vector<Action> actions;
+  for (int agent = 0; agent < game.m(); ++agent) {
+    for (int to = 0; to < game.k(); ++to) {
+      if (game.can_jump(agent, to)) {
+        actions.push_back({ActionKind::kJump, agent, game.position(agent), to});
+      }
+    }
+  }
+  return actions;
+}
+
+}  // namespace
+
+std::optional<Action> RandomStrategy::next(const MoveJumpGame& game) {
+  const std::vector<Action> moves = legal_moves(game);
+  const std::vector<Action> jumps = legal_jumps(game);
+  if (moves.empty() && jumps.empty()) return std::nullopt;
+  const bool pick_move =
+      !moves.empty() && (jumps.empty() || rng_.next_double() < move_bias_);
+  const auto& pool = pick_move ? moves : jumps;
+  return pool[static_cast<std::size_t>(
+      rng_.next_int(static_cast<int>(pool.size())))];
+}
+
+std::optional<Action> GreedyDescentStrategy::next(const MoveJumpGame& game) {
+  // 1. Upward jumps first — they restore potential for free.
+  std::optional<Action> best_jump;
+  for (int agent = 0; agent < game.m(); ++agent) {
+    for (int to = game.k() - 1; to > game.position(agent); --to) {
+      if (game.can_jump(agent, to)) {
+        if (!best_jump.has_value() || to > best_jump->to) {
+          best_jump = Action{ActionKind::kJump, agent, game.position(agent), to};
+        }
+      }
+    }
+  }
+  if (best_jump.has_value()) return best_jump;
+  // 2. Walk the highest agent one rung down the ladder (never closes a
+  //    cycle: ladder edges all point downward).
+  int highest = -1;
+  for (int agent = 0; agent < game.m(); ++agent) {
+    if (highest == -1 || game.position(agent) > game.position(highest)) {
+      highest = agent;
+    }
+  }
+  if (game.position(highest) > 0) {
+    const int to = game.position(highest) - 1;
+    if (!game.move_closes_cycle(highest, to)) {
+      return Action{ActionKind::kMove, highest, game.position(highest), to};
+    }
+  }
+  // 3. Any remaining legal move.
+  const std::vector<Action> moves = legal_moves(game);
+  if (!moves.empty()) return moves.front();
+  return std::nullopt;
+}
+
+PlayResult play(MoveJumpGame& game, Strategy& strategy,
+                std::uint64_t max_actions) {
+  PlayResult result;
+  for (std::uint64_t i = 0; i < max_actions; ++i) {
+    const std::optional<Action> action = strategy.next(game);
+    if (!action.has_value()) {
+      result.resigned = true;
+      break;
+    }
+    if (action->kind == ActionKind::kMove) {
+      if (!game.move(action->agent, action->to)) break;  // cycle: game over
+      ++result.moves;
+    } else {
+      game.jump(action->agent, action->to);
+      ++result.jumps;
+    }
+  }
+  return result;
+}
+
+}  // namespace bss::game

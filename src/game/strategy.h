@@ -1,0 +1,61 @@
+// Strategies for the move/jump game, and the play() driver.
+//
+// The Lemma bounds ANY strategy; these provide the two sides of the check:
+//   * RandomStrategy / GreedyDescentStrategy push games as long as they can
+//     (the greedy one walks agents down a fixed ladder and jumps back up on
+//     every enabling move — the longest-run heuristic);
+//   * play() runs a strategy to exhaustion and returns the move count, which
+//     tests compare against m^k.
+// The exact maxima for tiny instances come from exhaustive.h.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "game/game.h"
+#include "util/rng.h"
+
+namespace bss::game {
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  /// The next action, or nullopt to resign.  Returned actions must be legal
+  /// and (for moves) not close a cycle — play() stops on violations.
+  virtual std::optional<Action> next(const MoveJumpGame& game) = 0;
+};
+
+/// Uniformly random legal non-cycle-closing action, with moves preferred
+/// over jumps `move_bias` of the time.
+class RandomStrategy final : public Strategy {
+ public:
+  explicit RandomStrategy(std::uint64_t seed, double move_bias = 0.7)
+      : rng_(seed), move_bias_(move_bias) {}
+  std::optional<Action> next(const MoveJumpGame& game) override;
+
+ private:
+  bss::Rng rng_;
+  double move_bias_;
+};
+
+/// Ladder heuristic: treat node indices as the intended topological order;
+/// always take an enabled upward jump first (recovering potential), else
+/// move the highest agent one rung down; else any legal non-closing move.
+class GreedyDescentStrategy final : public Strategy {
+ public:
+  std::optional<Action> next(const MoveJumpGame& game) override;
+};
+
+struct PlayResult {
+  std::uint64_t moves = 0;
+  std::uint64_t jumps = 0;
+  bool resigned = false;  // strategy gave up before closing a cycle
+};
+
+/// Runs `strategy` until it resigns, a move would close a cycle, or
+/// `max_actions` is hit (a safety net; the Lemma says it cannot be hit with
+/// max_actions > m^k + jump budget).
+PlayResult play(MoveJumpGame& game, Strategy& strategy,
+                std::uint64_t max_actions = 1'000'000);
+
+}  // namespace bss::game

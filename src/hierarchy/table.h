@@ -1,0 +1,29 @@
+// The hierarchy table (experiment T3): Herlihy's consensus numbers, measured.
+//
+// Each row pairs an object type with what the exhaustive checker establishes
+// about it on this machine — certified protocols below the consensus number,
+// refuted natural attempts above it — plus the paper-refinement column: what
+// a BOUNDED instance of the object can do (the compare&swap-(k) boundary at
+// n = k-1 without read/write helpers, (k-1)! with them).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bss::hierarchy {
+
+struct HierarchyRow {
+  std::string object;
+  std::string consensus_number;  ///< "1", "2", "inf", ...
+  std::string certified;         ///< what the checker verified
+  std::string refuted;           ///< what the checker refuted
+};
+
+/// Runs the checker over the protocol zoo and assembles the table.  Takes a
+/// few milliseconds; every cell is recomputed, not hardcoded.
+std::vector<HierarchyRow> build_hierarchy_table();
+
+/// Renders the table as aligned text for benches and examples.
+std::string render_hierarchy_table(const std::vector<HierarchyRow>& rows);
+
+}  // namespace bss::hierarchy

@@ -1,0 +1,139 @@
+#include "hierarchy/universal.h"
+
+#include "util/checked.h"
+
+namespace bss::hierarchy {
+
+UniversalObject::UniversalObject(std::string name, SequentialSpec spec, int n,
+                                 int max_ops)
+    : name_(std::move(name)), spec_(std::move(spec)), n_(n), max_ops_(max_ops) {
+  expects(n >= 1, "universal object needs processes");
+  expects(max_ops >= 1, "universal object needs capacity");
+  announce_.reserve(static_cast<std::size_t>(n));
+  for (int pid = 0; pid < n; ++pid) {
+    announce_.emplace_back(name_ + ".announce[" + std::to_string(pid) + "]",
+                           pid, std::pair<std::int64_t, std::int64_t>{0, 0});
+  }
+  cells_.reserve(static_cast<std::size_t>(max_ops));
+  for (int cell = 0; cell < max_ops; ++cell) {
+    cells_.emplace_back(name_ + ".cell[" + std::to_string(cell) + "]");
+  }
+  cursors_.resize(static_cast<std::size_t>(n));
+  for (auto& cursor : cursors_) {
+    cursor.state = spec_.initial_state;
+    cursor.applied_seq.assign(static_cast<std::size_t>(n), 0);
+  }
+}
+
+std::int64_t UniversalObject::encode(const Placement& placement, int n) {
+  // (seq * n + pid) in the high 31 bits, op in the low 32.  Sticky registers
+  // require non-negative proposals.
+  const std::int64_t slot =
+      placement.seq * n + placement.pid;  // seq >= 1, so slot >= n > 0
+  return (slot << 32) | (placement.op & 0xffffffffLL);
+}
+
+UniversalObject::Placement UniversalObject::decode(std::int64_t value, int n) {
+  const std::int64_t slot = value >> 32;
+  Placement placement;
+  placement.pid = checked_cast<int>(slot % n);
+  placement.seq = slot / n;
+  placement.op = value & 0xffffffffLL;
+  return placement;
+}
+
+std::int64_t UniversalObject::invoke(sim::Ctx& ctx, std::int64_t op) {
+  expects(op >= 0 && op <= 0xffffffffLL,
+          "universal object operations are 32-bit payloads");
+  const int pid = ctx.pid();
+  Cursor& cursor = cursors_[static_cast<std::size_t>(pid)];
+  const std::int64_t my_seq = ++cursor.local_seq;
+  announce_[static_cast<std::size_t>(pid)].write(ctx, {my_seq, op});
+  const int announce_cell = cursor.next_cell;
+
+  for (;;) {
+    expects(cursor.next_cell < max_ops_,
+            "universal object capacity exhausted");
+    const int cell_index = cursor.next_cell;
+    auto& cell = cells_[static_cast<std::size_t>(cell_index)];
+
+    // Candidate: the pending operation of the process this cell prioritizes,
+    // else the next pending one round-robin from there (ourselves included).
+    Placement candidate{-1, 0, 0};
+    for (int offset = 0; offset < n_; ++offset) {
+      const int q = (cell_index + offset) % n_;
+      if (q == pid) {
+        // Our own announce needs no shared read.
+        if (cursor.applied_seq[static_cast<std::size_t>(q)] < my_seq) {
+          candidate = {pid, my_seq, op};
+          break;
+        }
+        continue;
+      }
+      const auto [seq, pending_op] =
+          announce_[static_cast<std::size_t>(q)].read(ctx);
+      if (seq > cursor.applied_seq[static_cast<std::size_t>(q)]) {
+        candidate = {q, seq, pending_op};
+        break;
+      }
+    }
+    expects(candidate.pid >= 0,
+            "no pending operation although ours is pending");
+
+    const std::int64_t decided =
+        cell.propose(ctx, encode(candidate, n_));
+    const Placement placed = decode(decided, n_);
+
+    // Apply the decided operation to the local replay.
+    const std::int64_t response = spec_.apply(cursor.state, placed.op);
+    cursor.applied_seq[static_cast<std::size_t>(placed.pid)] = placed.seq;
+    ++cursor.next_cell;
+
+    if (placed.pid == pid && placed.seq == my_seq) {
+      cursor.distances.push_back(cursor.next_cell - 1 - announce_cell);
+      return response;
+    }
+  }
+}
+
+int UniversalObject::log_length() const {
+  for (int cell = 0; cell < max_ops_; ++cell) {
+    if (cells_[static_cast<std::size_t>(cell)].peek() ==
+        sim::StickyRegister::kUnset) {
+      return cell;
+    }
+  }
+  return max_ops_;
+}
+
+const std::vector<int>& UniversalObject::placement_distances(int pid) const {
+  return cursors_[static_cast<std::size_t>(pid)].distances;
+}
+
+SequentialSpec counter_spec() {
+  SequentialSpec spec;
+  spec.initial_state = {0};
+  spec.apply = [](std::vector<std::int64_t>& state, std::int64_t op) {
+    (void)op;  // every op is fetch-and-increment
+    return state[0]++;
+  };
+  return spec;
+}
+
+SequentialSpec queue_spec() {
+  SequentialSpec spec;
+  spec.initial_state = {};  // the queue contents
+  spec.apply = [](std::vector<std::int64_t>& state, std::int64_t op) {
+    if (op == 0) {  // dequeue
+      if (state.empty()) return std::int64_t{-1};
+      const std::int64_t front = state.front();
+      state.erase(state.begin());
+      return front;
+    }
+    state.push_back(op - 1);  // enqueue (op - 1)
+    return std::int64_t{0};
+  };
+  return spec;
+}
+
+}  // namespace bss::hierarchy

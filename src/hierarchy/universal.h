@@ -1,0 +1,99 @@
+// Herlihy's wait-free universal construction [10], driven by one-shot
+// consensus objects (sticky registers [20]).
+//
+// The paper's framing: compare&swap-like objects are *universal* — any
+// sequentially specified object has a wait-free implementation from them
+// [10] (made bounded by Jayanti-Toueg [15]).  This module is that
+// construction, and the contrast it sets up is the whole point of the paper:
+// universality needs an unbounded supply of consensus cells, while a single
+// BOUNDED object (compare&swap-(k)) tops out at O(k^(k^2+3)) processes even
+// for leader election.
+//
+// Construction (classic linked-log form):
+//   * announce[p]  — SWMR register holding p's current pending operation;
+//   * cells[0..]   — a consensus object per log position deciding WHICH
+//     announced operation occupies that position;
+//   * every process drives the log forward, proposing at cell c the pending
+//     operation of process (c mod n) if any — the round-robin helping that
+//     makes the construction wait-free: within n cells of announcing, some
+//     cell prioritizes you and every helper proposes your operation.
+// Each process replays the decided log through the sequential specification
+// to compute its own operation's response.  Cells are preallocated (the
+// simulator needs objects up front); capacity is the total operation count,
+// which is the documented substitute for [15]'s bounded recycling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "registers/sticky.h"
+#include "registers/swmr_register.h"
+#include "runtime/sim_env.h"
+
+namespace bss::hierarchy {
+
+/// A sequential object: deterministic apply over explicit state.
+struct SequentialSpec {
+  std::vector<std::int64_t> initial_state;
+  /// Applies `op` to `state`, returns the operation's response.
+  std::function<std::int64_t(std::vector<std::int64_t>& state,
+                             std::int64_t op)>
+      apply;
+};
+
+class UniversalObject {
+ public:
+  /// `n` processes, at most `max_ops` invocations in total across all of
+  /// them (the preallocated log capacity).  Operations are 32-bit payloads.
+  UniversalObject(std::string name, SequentialSpec spec, int n, int max_ops);
+
+  /// Applies `op` wait-free on behalf of ctx.pid(); returns the sequential
+  /// response.  Linearizable: responses across processes are consistent
+  /// with one total log order (the decided cells).
+  std::int64_t invoke(sim::Ctx& ctx, std::int64_t op);
+
+  /// Number of log cells decided so far (checker access).
+  int log_length() const;
+  /// Distance in cells between a process's announce and its placement, for
+  /// the helping-bound tests; indexed by invocation order of that process.
+  const std::vector<int>& placement_distances(int pid) const;
+
+ private:
+  struct Placement {
+    int pid;
+    std::int64_t seq;
+    std::int64_t op;
+  };
+  static std::int64_t encode(const Placement& placement, int n);
+  static Placement decode(std::int64_t value, int n);
+
+  // Per-process replay cursor (local state mirrored per pid; the simulator
+  // runs one process at a time, so keeping them here is safe and keeps the
+  // public API free of per-process handles).
+  struct Cursor {
+    std::vector<std::int64_t> state;
+    std::vector<std::int64_t> applied_seq;  // last applied seq per pid
+    int next_cell = 0;
+    std::int64_t local_seq = 0;
+    std::vector<int> distances;
+  };
+
+  std::string name_;
+  SequentialSpec spec_;
+  int n_;
+  int max_ops_;
+  std::vector<sim::SwmrRegister<std::pair<std::int64_t, std::int64_t>>>
+      announce_;  // (seq, op); seq 0 = nothing pending yet
+  std::vector<sim::StickyRegister> cells_;
+  std::vector<Cursor> cursors_;
+};
+
+/// Ready-made sequential specifications for tests, benches and examples.
+SequentialSpec counter_spec();
+/// FIFO queue over ops: enqueue value v -> op = v+1 (v >= 0), dequeue ->
+/// op = 0; dequeue returns -1 when empty.
+SequentialSpec queue_spec();
+
+}  // namespace bss::hierarchy

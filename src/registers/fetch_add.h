@@ -1,0 +1,43 @@
+// fetch&add register — consensus number 2 in Herlihy's hierarchy.
+//
+// Included for hierarchy-table completeness and as a ticket dispenser for
+// examples; unbounded (no value-domain cap), unlike the paper's bounded
+// objects.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/sim_env.h"
+
+namespace bss::sim {
+
+class FetchAdd {
+ public:
+  FetchAdd(std::string name, std::int64_t initial = 0)
+      : name_(std::move(name)), value_(initial) {}
+
+  /// Atomically adds `delta`; returns the previous value.
+  std::int64_t fetch_add(Ctx& ctx, std::int64_t delta) {
+    ctx.sync({name_, "faa", delta, 0});
+    const std::int64_t prev = value_;
+    value_ += delta;
+    ctx.note_result(prev);
+    return prev;
+  }
+
+  std::int64_t read(Ctx& ctx) const {
+    ctx.sync({name_, "read", 0, 0});
+    ctx.note_result(value_);
+    return value_;
+  }
+
+  const std::string& name() const { return name_; }
+  std::int64_t peek() const { return value_; }
+
+ private:
+  std::string name_;
+  std::int64_t value_;
+};
+
+}  // namespace bss::sim

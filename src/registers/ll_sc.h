@@ -1,0 +1,68 @@
+// Load-link / store-conditional — the other top-of-hierarchy object the paper
+// names ("compare&swap, or load-link-store-conditional").  Bounded to k
+// values like CasRegisterK.  This is the idealized LL/SC (SC fails iff some
+// other store-conditional succeeded since this process's load-link; no
+// spurious failures).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/sim_env.h"
+#include "util/checked.h"
+
+namespace bss::sim {
+
+class LlScRegisterK {
+ public:
+  LlScRegisterK(std::string name, int k, int initial = 0)
+      : name_(std::move(name)), k_(k), value_(initial) {
+    expects(k >= 1, "LL/SC register needs at least one value");
+    expects(initial >= 0 && initial < k, "LL/SC initial value outside domain");
+  }
+
+  /// load-link: reads the value and links this process to the current
+  /// version.
+  int load_link(Ctx& ctx) {
+    ctx.sync({name_, "ll", 0, 0});
+    link(ctx.pid()) = version_;
+    ctx.note_result(value_);
+    return value_;
+  }
+
+  /// store-conditional: writes iff no successful SC intervened since this
+  /// process's last LL.  Returns true on success.
+  bool store_conditional(Ctx& ctx, int next) {
+    expects(next >= 0 && next < k_, "LL/SC store outside value domain");
+    ctx.sync({name_, "sc", next, 0});
+    const bool ok = link(ctx.pid()) == version_;
+    if (ok) {
+      value_ = next;
+      ++version_;
+    }
+    ctx.note_result(ok ? 1 : 0);
+    return ok;
+  }
+
+  int k() const { return k_; }
+  const std::string& name() const { return name_; }
+  int peek() const { return value_; }
+
+ private:
+  std::uint64_t& link(int pid) {
+    const auto index = static_cast<std::size_t>(pid);
+    if (links_.size() <= index) links_.resize(index + 1, kNeverLinked);
+    return links_[index];
+  }
+
+  static constexpr std::uint64_t kNeverLinked = ~std::uint64_t{0};
+
+  std::string name_;
+  int k_;
+  int value_;
+  std::uint64_t version_ = 0;
+  std::vector<std::uint64_t> links_;
+};
+
+}  // namespace bss::sim

@@ -1,0 +1,41 @@
+// Multi-writer multi-reader atomic register.
+//
+// Constructible from SWMR registers (Peterson-Burns [19], Bloom [3]); the
+// simulator provides it directly since every granted operation is atomic.
+// Still consensus number 1.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "registers/value.h"
+#include "runtime/sim_env.h"
+
+namespace bss::sim {
+
+template <class T>
+class MwmrRegister {
+ public:
+  MwmrRegister(std::string name, T initial)
+      : name_(std::move(name)), value_(std::move(initial)) {}
+
+  T read(Ctx& ctx) const {
+    ctx.sync({name_, "read", 0, 0});
+    ctx.note_result(trace_encode(value_));
+    return value_;
+  }
+
+  void write(Ctx& ctx, T value) {
+    ctx.sync({name_, "write", trace_encode(value), 0});
+    value_ = std::move(value);
+  }
+
+  const std::string& name() const { return name_; }
+  const T& peek() const { return value_; }
+
+ private:
+  std::string name_;
+  T value_;
+};
+
+}  // namespace bss::sim

@@ -1,0 +1,41 @@
+// Atomic swap register — consensus number 2, like test&set and fetch&add.
+// Rounds out the hierarchy's level-2 row: three different level-2 objects,
+// all certified/refuted identically by the checker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/sim_env.h"
+
+namespace bss::sim {
+
+class SwapRegister {
+ public:
+  SwapRegister(std::string name, std::int64_t initial = 0)
+      : name_(std::move(name)), value_(initial) {}
+
+  /// Atomically writes `next` and returns the previous value.
+  std::int64_t swap(Ctx& ctx, std::int64_t next) {
+    ctx.sync({name_, "swap", next, 0});
+    const std::int64_t prev = value_;
+    value_ = next;
+    ctx.note_result(prev);
+    return prev;
+  }
+
+  std::int64_t read(Ctx& ctx) const {
+    ctx.sync({name_, "read", 0, 0});
+    ctx.note_result(value_);
+    return value_;
+  }
+
+  const std::string& name() const { return name_; }
+  std::int64_t peek() const { return value_; }
+
+ private:
+  std::string name_;
+  std::int64_t value_;
+};
+
+}  // namespace bss::sim

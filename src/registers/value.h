@@ -1,0 +1,24 @@
+// Trace-encoding helper for register values.
+//
+// Registers are templates over their value type; the trace stores int64
+// arguments.  Integral values are encoded faithfully, anything else is
+// traced as 0 (the trace still shows object/op/pid, which is what the
+// validators key on).
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace bss::sim {
+
+template <class T>
+std::int64_t trace_encode(const T& value) {
+  if constexpr (std::is_integral_v<T> || std::is_enum_v<T>) {
+    return static_cast<std::int64_t>(value);
+  } else {
+    (void)value;
+    return 0;
+  }
+}
+
+}  // namespace bss::sim

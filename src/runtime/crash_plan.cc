@@ -1,0 +1,26 @@
+#include "runtime/crash_plan.h"
+
+namespace bss::sim {
+
+CrashPlan& CrashPlan::crash_before_op(int pid, std::uint64_t op_index) {
+  points_[pid] = op_index;
+  return *this;
+}
+
+CrashPlan CrashPlan::random(int n, double p, std::uint64_t max_op,
+                            bss::Rng& rng) {
+  CrashPlan plan;
+  for (int pid = 0; pid < n; ++pid) {
+    if (rng.next_double() < p) {
+      plan.crash_before_op(pid, max_op == 0 ? 0 : rng.next_below(max_op));
+    }
+  }
+  return plan;
+}
+
+bool CrashPlan::should_crash(int pid, std::uint64_t steps_taken) const {
+  const auto it = points_.find(pid);
+  return it != points_.end() && steps_taken >= it->second;
+}
+
+}  // namespace bss::sim

@@ -1,0 +1,41 @@
+// Crash (fail-stop) injection.
+//
+// Wait-freedom is a guarantee *against* crashes: every process must finish in
+// a bounded number of its own steps no matter how many others stop forever.
+// A CrashPlan kills selected processes just before their t-th shared-memory
+// operation; the survivors' behaviour is then validated as usual.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bss::sim {
+
+class CrashPlan {
+ public:
+  CrashPlan() = default;
+
+  /// Crash `pid` immediately before it performs its `op_index`-th (0-based)
+  /// shared-memory operation.  op_index 0 means the process never takes a
+  /// shared step at all.
+  CrashPlan& crash_before_op(int pid, std::uint64_t op_index);
+
+  /// Randomized plan: each pid in [0, n) crashes with probability `p`, at a
+  /// uniformly random op index in [0, max_op).
+  static CrashPlan random(int n, double p, std::uint64_t max_op,
+                          bss::Rng& rng);
+
+  /// True iff `pid` must crash now given it has taken `steps_taken` steps.
+  bool should_crash(int pid, std::uint64_t steps_taken) const;
+
+  bool empty() const { return points_.empty(); }
+  std::size_t victim_count() const { return points_.size(); }
+
+ private:
+  std::map<int, std::uint64_t> points_;  // pid -> op index to die before
+};
+
+}  // namespace bss::sim

@@ -1,0 +1,154 @@
+#include "runtime/linearizability.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/checked.h"
+
+namespace bss::sim {
+
+namespace {
+
+struct SearchKey {
+  std::vector<bool> done;
+  std::vector<std::int64_t> state;
+
+  bool operator==(const SearchKey& other) const {
+    return done == other.done && state == other.state;
+  }
+};
+
+struct SearchKeyHash {
+  std::size_t operator()(const SearchKey& key) const {
+    std::size_t h = 1469598103934665603ULL;
+    for (const bool bit : key.done) h = h * 1099511628211ULL + (bit ? 2 : 1);
+    for (const std::int64_t word : key.state) {
+      h ^= static_cast<std::size_t>(word) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
+
+class Checker {
+ public:
+  Checker(const std::vector<IntervalOp>& history,
+          const SequentialObjectSpec& spec, std::uint64_t max_states)
+      : history_(history), spec_(spec), max_states_(max_states) {}
+
+  LinearizabilityResult run() {
+    LinearizabilityResult result;
+    std::vector<bool> done(history_.size(), false);
+    std::vector<std::int64_t> state = spec_.initial_state;
+    std::vector<std::size_t> order;
+    try {
+      result.linearizable = search(done, state, order);
+    } catch (const InvariantError&) {
+      result.detail = "state budget exhausted (inconclusive)";
+      result.states_explored = visited_.size();
+      return result;
+    }
+    result.states_explored = visited_.size();
+    if (result.linearizable) {
+      result.witness_order = std::move(order);
+    } else {
+      result.detail = "no linearization replays through the specification";
+    }
+    return result;
+  }
+
+ private:
+  // An op is schedulable next iff every op that REALLY finished before it
+  // started has already been linearized.
+  bool schedulable(const std::vector<bool>& done, std::size_t index) const {
+    const IntervalOp& candidate = history_[index];
+    for (std::size_t other = 0; other < history_.size(); ++other) {
+      if (done[other] || other == index) continue;
+      if (history_[other].end < candidate.start) return false;
+    }
+    return true;
+  }
+
+  bool search(std::vector<bool>& done, std::vector<std::int64_t>& state,
+              std::vector<std::size_t>& order) {
+    if (order.size() == history_.size()) return true;
+    const SearchKey key{done, state};
+    if (!visited_.insert(key).second) return false;
+    expects(visited_.size() < max_states_,
+            "linearizability search exceeded its state budget");
+
+    for (std::size_t index = 0; index < history_.size(); ++index) {
+      if (done[index] || !schedulable(done, index)) continue;
+      std::vector<std::int64_t> next_state = state;
+      const auto expected = spec_.apply(next_state, history_[index].payload);
+      if (expected != history_[index].response) continue;
+      done[index] = true;
+      order.push_back(index);
+      std::swap(state, next_state);
+      if (search(done, state, order)) return true;
+      std::swap(state, next_state);
+      order.pop_back();
+      done[index] = false;
+    }
+    return false;
+  }
+
+  const std::vector<IntervalOp>& history_;
+  const SequentialObjectSpec& spec_;
+  std::uint64_t max_states_;
+  std::unordered_set<SearchKey, SearchKeyHash> visited_;
+};
+
+}  // namespace
+
+LinearizabilityResult check_linearizable(const std::vector<IntervalOp>& history,
+                                         const SequentialObjectSpec& spec,
+                                         std::uint64_t max_states) {
+  Checker checker(history, spec, max_states);
+  return checker.run();
+}
+
+SequentialObjectSpec fetch_increment_spec() {
+  SequentialObjectSpec spec;
+  spec.initial_state = {0};
+  spec.apply = [](std::vector<std::int64_t>& state,
+                  const std::vector<std::int64_t>&) {
+    return std::vector<std::int64_t>{state[0]++};
+  };
+  return spec;
+}
+
+SequentialObjectSpec snapshot_spec(int components) {
+  SequentialObjectSpec spec;
+  spec.initial_state.assign(static_cast<std::size_t>(components), 0);
+  spec.apply = [](std::vector<std::int64_t>& state,
+                  const std::vector<std::int64_t>& payload) {
+    if (payload.size() == 2) {  // update(component, value)
+      state[static_cast<std::size_t>(payload[0])] = payload[1];
+      return std::vector<std::int64_t>{};
+    }
+    return state;  // scan
+  };
+  return spec;
+}
+
+SequentialObjectSpec fifo_queue_spec() {
+  SequentialObjectSpec spec;
+  spec.initial_state = {};
+  spec.apply = [](std::vector<std::int64_t>& state,
+                  const std::vector<std::int64_t>& payload) {
+    if (payload.at(0) == 0) {  // dequeue
+      if (state.empty()) return std::vector<std::int64_t>{-1};
+      const std::int64_t front = state.front();
+      state.erase(state.begin());
+      return std::vector<std::int64_t>{front};
+    }
+    state.push_back(payload[0] - 1);  // enqueue
+    return std::vector<std::int64_t>{0};
+  };
+  return spec;
+}
+
+}  // namespace bss::sim

@@ -1,0 +1,105 @@
+// Schedulers: the adversary.
+//
+// In the asynchronous shared-memory model a computation's interleaving is
+// chosen by an adversary.  Here the adversary is a Scheduler object: at every
+// global step it sees which processes are ready (blocked at the start of
+// their next shared-memory operation, with the pending operation visible) and
+// picks the one that moves.  Wait-freedom claims are tested by running the
+// same algorithm under every scheduler in this file, including crash plans.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/trace.h"
+#include "util/rng.h"
+
+namespace bss::sim {
+
+/// Per-process information exposed to schedulers.
+struct ProcView {
+  int pid = -1;
+  bool ready = false;          ///< blocked at a pending shared op
+  OpDesc pending;              ///< valid iff ready
+  std::uint64_t steps_taken = 0;
+};
+
+struct SchedView {
+  std::uint64_t step = 0;
+  std::span<const int> runnable;        ///< pids that may be granted now
+  std::span<const ProcView> processes;  ///< indexed by pid
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  /// Returns the pid (member of view.runnable) to grant the next step.
+  virtual int pick(const SchedView& view) = 0;
+  /// Name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// Cycles through processes in pid order; the "fair" baseline.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  int pick(const SchedView& view) override;
+  std::string name() const override { return "round-robin"; }
+
+ private:
+  int cursor_ = 0;
+};
+
+/// Uniformly random among runnable processes; replayable from the seed.
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+  int pick(const SchedView& view) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  bss::Rng rng_;
+};
+
+/// Adversarial heuristic for compare&swap algorithms: holds back every
+/// process that is about to perform a `cas` until *all* runnable processes
+/// are poised on a cas, then releases exactly one — maximizing contention and
+/// the number of failed compare&swaps (the worst case for first-value
+/// algorithms, where every failure forces a retry round).
+class CasConvoyScheduler final : public Scheduler {
+ public:
+  explicit CasConvoyScheduler(std::uint64_t seed) : rng_(seed) {}
+  int pick(const SchedView& view) override;
+  std::string name() const override { return "cas-convoy"; }
+
+ private:
+  bss::Rng rng_;
+};
+
+/// Runs one process as long as possible, switching only when it finishes —
+/// the "solo run" adversary; with crash plans this yields the classic
+/// "leader crashes mid-protocol" executions.
+class SoloScheduler final : public Scheduler {
+ public:
+  int pick(const SchedView& view) override;
+  std::string name() const override { return "solo"; }
+};
+
+/// Replays a recorded decision sequence (falling back to round-robin when
+/// the recorded pid is not runnable, which keeps replay usable under
+/// slightly different crash plans).
+class ReplayScheduler final : public Scheduler {
+ public:
+  explicit ReplayScheduler(std::vector<int> decisions)
+      : decisions_(std::move(decisions)) {}
+  int pick(const SchedView& view) override;
+  std::string name() const override { return "replay"; }
+
+ private:
+  std::vector<int> decisions_;
+  std::size_t next_ = 0;
+  RoundRobinScheduler fallback_;
+};
+
+}  // namespace bss::sim

@@ -1,0 +1,321 @@
+#include "runtime/sim_env.h"
+
+#include <sstream>
+
+#include "util/checked.h"
+
+namespace bss::sim {
+
+int RunReport::finished_count() const {
+  int n = 0;
+  for (const auto outcome : outcomes) {
+    if (outcome == ProcOutcome::kFinished) ++n;
+  }
+  return n;
+}
+
+int RunReport::crashed_count() const {
+  int n = 0;
+  for (const auto outcome : outcomes) {
+    if (outcome == ProcOutcome::kCrashed) ++n;
+  }
+  return n;
+}
+
+bool RunReport::clean() const {
+  if (step_limit_hit) return false;
+  for (const auto outcome : outcomes) {
+    if (outcome == ProcOutcome::kFailed) return false;
+  }
+  return true;
+}
+
+std::string RunReport::summary() const {
+  std::ostringstream out;
+  out << "steps=" << total_steps << " finished=" << finished_count()
+      << " crashed=" << crashed_count();
+  if (step_limit_hit) out << " STEP-LIMIT";
+  for (std::size_t pid = 0; pid < outcomes.size(); ++pid) {
+    if (outcomes[pid] == ProcOutcome::kFailed) {
+      out << "\n  p" << pid << " FAILED: " << errors[pid];
+    }
+  }
+  return out.str();
+}
+
+std::uint64_t Ctx::global_step() const { return env_->step_; }
+
+void Ctx::sync(OpDesc desc) {
+  env_->park(pid_, std::move(desc));
+  ++steps_taken_;
+}
+
+void Ctx::note_result(std::int64_t result) {
+  env_->procs_[static_cast<std::size_t>(pid_)].last_result = result;
+}
+
+std::int64_t Ctx::take_injection() {
+  auto& injection = env_->procs_[static_cast<std::size_t>(pid_)].injection;
+  expects(injection.has_value(),
+          "emulated operation executed without an injected result");
+  const std::int64_t value = *injection;
+  injection.reset();
+  return value;
+}
+
+SimEnv::SimEnv(SimOptions options) : options_(options) {}
+
+SimEnv::~SimEnv() {
+  // If run() threw (e.g. a scheduler bug), threads may still be parked.
+  for (auto& proc : procs_) {
+    if (proc.thread.joinable()) {
+      if (proc.state != State::kDone) {
+        proc.crash_requested = true;
+        proc.go->release();
+      }
+      proc.thread.join();
+    }
+  }
+}
+
+int SimEnv::add_process(std::function<void(Ctx&)> body) {
+  expects(!ran_, "SimEnv::add_process after run()");
+  bodies_.push_back(std::move(body));
+  return checked_cast<int>(bodies_.size()) - 1;
+}
+
+void SimEnv::thread_main(int pid) {
+  Proc& proc = procs_[static_cast<std::size_t>(pid)];
+  try {
+    bodies_[static_cast<std::size_t>(pid)](*proc.ctx);
+    proc.outcome = ProcOutcome::kFinished;
+  } catch (const ProcessCrashed&) {
+    proc.outcome = ProcOutcome::kCrashed;
+  } catch (const std::exception& e) {
+    proc.outcome = ProcOutcome::kFailed;
+    proc.error = e.what();
+  } catch (...) {
+    proc.outcome = ProcOutcome::kFailed;
+    proc.error = "unknown exception";
+  }
+  proc.state = State::kDone;
+  arrived_.release();
+}
+
+void SimEnv::park(int pid, OpDesc desc) {
+  Proc& proc = procs_[static_cast<std::size_t>(pid)];
+  proc.pending = std::move(desc);
+  proc.state = State::kReady;
+  arrived_.release();
+  proc.go->acquire();
+  if (proc.crash_requested) throw ProcessCrashed{};
+}
+
+void SimEnv::start() {
+  expects(!ran_ && !started_, "SimEnv::start conflicts with a previous run");
+  started_ = true;
+  const int n = process_count();
+  expects(n > 0, "SimEnv::start with no processes");
+  procs_.resize(static_cast<std::size_t>(n));
+  for (int pid = 0; pid < n; ++pid) {
+    Proc& proc = procs_[static_cast<std::size_t>(pid)];
+    proc.ctx = std::unique_ptr<Ctx>(new Ctx(this, pid));
+    proc.go = std::make_unique<std::binary_semaphore>(0);
+  }
+  // Serialized launch; see the note in run().
+  for (int pid = 0; pid < n; ++pid) {
+    procs_[static_cast<std::size_t>(pid)].thread =
+        std::thread([this, pid] { thread_main(pid); });
+    arrived_.acquire();
+  }
+}
+
+bool SimEnv::is_parked(int pid) const {
+  return procs_[static_cast<std::size_t>(pid)].state == State::kReady;
+}
+
+const OpDesc& SimEnv::pending_of(int pid) const {
+  const Proc& proc = procs_[static_cast<std::size_t>(pid)];
+  expects(proc.state == State::kReady, "pending_of: process is not parked");
+  return proc.pending;
+}
+
+bool SimEnv::is_finished(int pid) const {
+  return procs_[static_cast<std::size_t>(pid)].state == State::kDone;
+}
+
+ProcOutcome SimEnv::outcome_of(int pid) const {
+  return procs_[static_cast<std::size_t>(pid)].outcome;
+}
+
+const std::string& SimEnv::error_of(int pid) const {
+  return procs_[static_cast<std::size_t>(pid)].error;
+}
+
+void SimEnv::inject(int pid, std::int64_t value) {
+  expects(is_parked(pid), "inject: process is not parked");
+  procs_[static_cast<std::size_t>(pid)].injection = value;
+}
+
+TraceEvent SimEnv::step_process(int pid) {
+  expects(started_ && !finished_, "step_process outside start()/finish()");
+  Proc& proc = procs_[static_cast<std::size_t>(pid)];
+  expects(proc.state == State::kReady, "step_process: process is not parked");
+  const OpDesc granted = proc.pending;
+  proc.last_result.reset();
+  proc.state = State::kRunning;
+  proc.go->release();
+  arrived_.acquire();
+  TraceEvent event;
+  event.step = step_++;
+  event.pid = pid;
+  event.desc = granted;
+  if (proc.last_result.has_value()) {
+    event.result = *proc.last_result;
+    event.has_result = true;
+  }
+  if (options_.record_trace) trace_.append(event);
+  return event;
+}
+
+void SimEnv::kill_process(int pid) {
+  Proc& proc = procs_[static_cast<std::size_t>(pid)];
+  if (proc.state != State::kReady) return;
+  proc.crash_requested = true;
+  proc.go->release();
+  arrived_.acquire();
+}
+
+void SimEnv::finish() {
+  if (!started_ || finished_) return;
+  finished_ = true;
+  for (int pid = 0; pid < process_count(); ++pid) kill_process(pid);
+  for (auto& proc : procs_) {
+    if (proc.thread.joinable()) proc.thread.join();
+  }
+}
+
+RunReport SimEnv::run(Scheduler& scheduler, const CrashPlan& crashes) {
+  expects(!ran_ && !started_, "SimEnv::run may be called once");
+  ran_ = true;
+  const int n = process_count();
+  expects(n > 0, "SimEnv::run with no processes");
+
+  procs_.resize(static_cast<std::size_t>(n));
+  for (int pid = 0; pid < n; ++pid) {
+    Proc& proc = procs_[static_cast<std::size_t>(pid)];
+    proc.ctx = std::unique_ptr<Ctx>(new Ctx(this, pid));
+    proc.go = std::make_unique<std::binary_semaphore>(0);
+  }
+  // Launch only after procs_ is fully built (threads index into it), and one
+  // at a time: each process runs to its first sync point (or completion)
+  // before the next starts, so body code ahead of the first shared operation
+  // never executes concurrently — objects may touch shared state anywhere
+  // inside an operation's implementation.
+  for (int pid = 0; pid < n; ++pid) {
+    procs_[static_cast<std::size_t>(pid)].thread =
+        std::thread([this, pid] { thread_main(pid); });
+    arrived_.acquire();
+  }
+
+  std::vector<ProcView> views(static_cast<std::size_t>(n));
+  const auto refresh_view = [&](int pid) {
+    const Proc& proc = procs_[static_cast<std::size_t>(pid)];
+    ProcView& view = views[static_cast<std::size_t>(pid)];
+    view.pid = pid;
+    view.ready = proc.state == State::kReady;
+    view.pending = proc.pending;
+    view.steps_taken = proc.ctx->steps_taken();
+  };
+  for (int pid = 0; pid < n; ++pid) refresh_view(pid);
+
+  const auto kill = [&](int pid) {
+    Proc& proc = procs_[static_cast<std::size_t>(pid)];
+    proc.crash_requested = true;
+    proc.go->release();
+    arrived_.acquire();  // thread unwinds, marks kDone, re-releases
+    refresh_view(pid);
+  };
+
+  RunReport report;
+  bool limit_hit = false;
+  for (;;) {
+    // Apply the crash plan to every parked process first.
+    for (int pid = 0; pid < n; ++pid) {
+      const Proc& proc = procs_[static_cast<std::size_t>(pid)];
+      if (proc.state == State::kReady &&
+          crashes.should_crash(pid, proc.ctx->steps_taken())) {
+        kill(pid);
+      }
+    }
+    std::vector<int> runnable;
+    for (int pid = 0; pid < n; ++pid) {
+      if (procs_[static_cast<std::size_t>(pid)].state == State::kReady) {
+        runnable.push_back(pid);
+      }
+    }
+    if (runnable.empty()) break;
+    if (step_ >= options_.step_limit) {
+      limit_hit = true;
+      for (const int pid : runnable) kill(pid);
+      break;
+    }
+
+    const SchedView view{step_, runnable, views};
+    const int pid = scheduler.pick(view);
+    expects(pid >= 0 && pid < n &&
+                procs_[static_cast<std::size_t>(pid)].state == State::kReady,
+            "scheduler picked a non-runnable process");
+    decisions_.push_back(pid);
+
+    Proc& proc = procs_[static_cast<std::size_t>(pid)];
+    const OpDesc granted = proc.pending;
+    proc.last_result.reset();
+    proc.state = State::kRunning;
+    proc.go->release();
+    arrived_.acquire();  // the process parked again or finished
+
+    if (options_.record_trace) {
+      TraceEvent event;
+      event.step = step_;
+      event.pid = pid;
+      event.desc = granted;
+      if (proc.last_result.has_value()) {
+        event.result = *proc.last_result;
+        event.has_result = true;
+      }
+      trace_.append(std::move(event));
+    }
+    ++step_;
+    refresh_view(pid);
+  }
+
+  for (auto& proc : procs_) proc.thread.join();
+
+  report.total_steps = step_;
+  report.step_limit_hit = limit_hit;
+  report.outcomes.resize(static_cast<std::size_t>(n));
+  report.errors.resize(static_cast<std::size_t>(n));
+  report.steps_by_pid.resize(static_cast<std::size_t>(n));
+  for (int pid = 0; pid < n; ++pid) {
+    const Proc& proc = procs_[static_cast<std::size_t>(pid)];
+    report.outcomes[static_cast<std::size_t>(pid)] = proc.outcome;
+    report.errors[static_cast<std::size_t>(pid)] = proc.error;
+    report.steps_by_pid[static_cast<std::size_t>(pid)] =
+        proc.ctx->steps_taken();
+  }
+  return report;
+}
+
+RunReport run_system(
+    int n, const std::function<std::function<void(Ctx&)>(int)>& make_body,
+    Scheduler& scheduler, Trace* trace_out, const CrashPlan& crashes,
+    SimOptions options) {
+  SimEnv env(options);
+  for (int pid = 0; pid < n; ++pid) env.add_process(make_body(pid));
+  RunReport report = env.run(scheduler, crashes);
+  if (trace_out != nullptr) *trace_out = env.trace();
+  return report;
+}
+
+}  // namespace bss::sim

@@ -1,0 +1,192 @@
+// SimEnv — the deterministic asynchronous shared-memory machine.
+//
+// Model: n sequential processes, each an arbitrary C++ callable, communicate
+// only through shared objects (src/registers).  Every shared-object operation
+// begins with Ctx::sync(), which *blocks the process* until the scheduler
+// grants it the step; while everything is blocked the engine consults the
+// Scheduler (the adversary) to choose who moves.  Exactly one process runs at
+// a time, so each granted operation executes atomically — which is precisely
+// the atomic-register/atomic-RMW model of Afek & Stupp (and Herlihy [10]).
+//
+// Determinism: the execution is a pure function of (process bodies, scheduler
+// decisions, crash plan).  Schedulers are replayable, so every run in this
+// repository can be reproduced from a seed.
+//
+// Implementation: each process runs on its own std::thread but is gated by a
+// binary semaphore; the engine holds a counting semaphore that each process
+// releases when it reaches its next sync point (or finishes).  The threads
+// are a control-flow convenience only — there is no actual data parallelism.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <semaphore>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/crash_plan.h"
+#include "runtime/scheduler.h"
+#include "runtime/trace.h"
+
+namespace bss::sim {
+
+class SimEnv;
+
+/// Thrown inside a process body to unwind it when the crash plan (or engine
+/// shutdown) kills the process.  Process bodies must not swallow it.
+struct ProcessCrashed {};
+
+/// Per-process handle passed to process bodies and shared objects.
+class Ctx {
+ public:
+  int pid() const { return pid_; }
+  std::uint64_t steps_taken() const { return steps_taken_; }
+  /// Global step counter at the moment of the call — timestamps for interval
+  /// histories (runtime/linearizability.h).  Stable while this process runs.
+  std::uint64_t global_step() const;
+
+  /// Announces the pending operation and blocks until the scheduler grants
+  /// this process its next step.  Called by shared objects at the start of
+  /// every operation.  Throws ProcessCrashed if the process was killed.
+  void sync(OpDesc desc);
+
+  /// Records the result of the operation granted by the last sync(), for the
+  /// trace.  Optional; at most once per sync.
+  void note_result(std::int64_t result);
+
+  /// Consumes the value injected by SimEnv::inject for the operation granted
+  /// by the last sync().  Emulated objects (src/emulation) use this to let a
+  /// driver dictate operation results; InvariantError if nothing was
+  /// injected.
+  std::int64_t take_injection();
+
+ private:
+  friend class SimEnv;
+  Ctx(SimEnv* env, int pid) : env_(env), pid_(pid) {}
+
+  SimEnv* env_;
+  int pid_;
+  std::uint64_t steps_taken_ = 0;
+};
+
+enum class ProcOutcome {
+  kFinished,   ///< body returned normally
+  kCrashed,    ///< killed by the crash plan or engine shutdown
+  kFailed,     ///< body threw a non-crash exception (a bug; message kept)
+  kUnstarted,  ///< never scheduled (only possible with step limits)
+};
+
+struct RunReport {
+  std::uint64_t total_steps = 0;
+  bool step_limit_hit = false;
+  std::vector<ProcOutcome> outcomes;       // indexed by pid
+  std::vector<std::string> errors;         // non-empty for kFailed pids
+  std::vector<std::uint64_t> steps_by_pid;
+
+  int finished_count() const;
+  int crashed_count() const;
+  /// True iff no process failed with an exception and the step limit held.
+  bool clean() const;
+  std::string summary() const;
+};
+
+struct SimOptions {
+  std::uint64_t step_limit = 10'000'000;
+  bool record_trace = true;
+};
+
+class SimEnv {
+ public:
+  explicit SimEnv(SimOptions options = {});
+  ~SimEnv();
+
+  SimEnv(const SimEnv&) = delete;
+  SimEnv& operator=(const SimEnv&) = delete;
+
+  /// Registers a process body; returns its pid (dense, starting at 0).
+  /// Bodies receive their Ctx and may capture shared objects by reference.
+  int add_process(std::function<void(Ctx&)> body);
+
+  int process_count() const { return static_cast<int>(bodies_.size()); }
+
+  /// Executes the system to quiescence (all processes finished/crashed) or
+  /// to the step limit.  May be called exactly once (and not after start()).
+  RunReport run(Scheduler& scheduler, const CrashPlan& crashes = {});
+
+  // --- Incremental mode (used by the Section 3 emulation driver) ---
+  // start() launches the processes up to their first sync point; the caller
+  // then inspects pending operations, optionally injects results, and steps
+  // chosen processes one operation at a time.  finish() kills whatever is
+  // still parked.  Mutually exclusive with run().
+
+  void start();
+  /// True iff `pid` is parked at a pending operation.
+  bool is_parked(int pid) const;
+  /// The operation `pid` is parked on (valid iff is_parked).
+  const OpDesc& pending_of(int pid) const;
+  bool is_finished(int pid) const;
+  ProcOutcome outcome_of(int pid) const;
+  const std::string& error_of(int pid) const;
+  /// Supplies the result the next step of `pid` will observe through
+  /// Ctx::take_injection().
+  void inject(int pid, std::int64_t value);
+  /// Grants `pid` exactly one operation; returns the completed trace event.
+  TraceEvent step_process(int pid);
+  void kill_process(int pid);
+  void finish();
+
+  const Trace& trace() const { return trace_; }
+  /// Scheduler decisions made during run(), for ReplayScheduler.
+  const std::vector<int>& decisions() const { return decisions_; }
+
+ private:
+  friend class Ctx;
+
+  enum class State : std::uint8_t {
+    kCreated,
+    kReady,    // blocked in sync with a pending op
+    kRunning,  // granted; executing its operation + local code
+    kDone,     // finished, crashed or failed
+  };
+
+  struct Proc {
+    std::function<void(Ctx&)> body;
+    std::unique_ptr<Ctx> ctx;
+    std::unique_ptr<std::binary_semaphore> go;
+    std::thread thread;
+    State state = State::kCreated;
+    bool crash_requested = false;
+    OpDesc pending;
+    std::optional<std::int64_t> last_result;
+    std::optional<std::int64_t> injection;
+    ProcOutcome outcome = ProcOutcome::kUnstarted;
+    std::string error;
+  };
+
+  void thread_main(int pid);
+  // Ctx::sync body: park the calling process and hand control to the engine.
+  void park(int pid, OpDesc desc);
+
+  SimOptions options_;
+  std::vector<std::function<void(Ctx&)>> bodies_;
+  std::vector<Proc> procs_;
+  std::counting_semaphore<> arrived_{0};
+  Trace trace_;
+  std::vector<int> decisions_;
+  std::uint64_t step_ = 0;
+  bool ran_ = false;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+/// Convenience: build, populate and run a SimEnv in one call.
+/// `make_body(pid)` must return the body for process `pid`.
+RunReport run_system(int n, const std::function<std::function<void(Ctx&)>(int)>& make_body,
+                     Scheduler& scheduler, Trace* trace_out = nullptr,
+                     const CrashPlan& crashes = {}, SimOptions options = {});
+
+}  // namespace bss::sim

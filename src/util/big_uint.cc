@@ -1,0 +1,141 @@
+#include "util/big_uint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/checked.h"
+
+namespace bss {
+
+namespace {
+constexpr std::uint64_t kLimbBase = 1ULL << 32;
+}  // namespace
+
+BigUint::BigUint(std::uint64_t value) {
+  if (value != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(value & 0xffffffffULL));
+    if (value >= kLimbBase) {
+      limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+    }
+  }
+}
+
+BigUint BigUint::from_decimal(const std::string& text) {
+  expects(!text.empty(), "BigUint::from_decimal: empty string");
+  BigUint result;
+  const BigUint ten(10);
+  for (const char c : text) {
+    expects(c >= '0' && c <= '9', "BigUint::from_decimal: non-digit");
+    result *= ten;
+    result += BigUint(static_cast<std::uint64_t>(c - '0'));
+  }
+  return result;
+}
+
+BigUint BigUint::factorial(int n) {
+  expects(n >= 0, "BigUint::factorial of negative");
+  BigUint result(1);
+  for (int i = 2; i <= n; ++i) result *= BigUint(static_cast<std::uint64_t>(i));
+  return result;
+}
+
+BigUint BigUint::pow(std::uint64_t base, std::uint64_t exponent) {
+  BigUint result(1);
+  BigUint square(base);
+  while (exponent > 0) {
+    if (exponent & 1) result *= square;
+    square *= square;
+    exponent >>= 1;
+  }
+  return result;
+}
+
+BigUint& BigUint::operator+=(const BigUint& other) {
+  const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+  limbs_.resize(n, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry + limbs_[i];
+    if (i < other.limbs_.size()) sum += other.limbs_[i];
+    limbs_[i] = static_cast<std::uint32_t>(sum & 0xffffffffULL);
+    carry = sum >> 32;
+  }
+  if (carry != 0) limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return *this;
+}
+
+BigUint& BigUint::operator*=(const BigUint& other) {
+  if (is_zero() || other.is_zero()) {
+    limbs_.clear();
+    return *this;
+  }
+  std::vector<std::uint32_t> product(limbs_.size() + other.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+      std::uint64_t cell = static_cast<std::uint64_t>(limbs_[i]) *
+                               static_cast<std::uint64_t>(other.limbs_[j]) +
+                           product[i + j] + carry;
+      product[i + j] = static_cast<std::uint32_t>(cell & 0xffffffffULL);
+      carry = cell >> 32;
+    }
+    std::size_t pos = i + other.limbs_.size();
+    while (carry != 0) {
+      std::uint64_t cell = product[pos] + carry;
+      product[pos] = static_cast<std::uint32_t>(cell & 0xffffffffULL);
+      carry = cell >> 32;
+      ++pos;
+    }
+  }
+  limbs_ = std::move(product);
+  trim();
+  return *this;
+}
+
+int BigUint::compare(const BigUint& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) return limbs_[i] < other.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+int BigUint::decimal_digits() const {
+  return checked_cast<int>(to_decimal().size());
+}
+
+std::string BigUint::to_decimal() const {
+  if (is_zero()) return "0";
+  std::vector<std::uint32_t> work(limbs_);
+  std::string digits;
+  while (!work.empty()) {
+    // Divide `work` by 10 in place, collecting the remainder.
+    std::uint64_t remainder = 0;
+    for (std::size_t i = work.size(); i-- > 0;) {
+      const std::uint64_t cell = (remainder << 32) | work[i];
+      work[i] = static_cast<std::uint32_t>(cell / 10);
+      remainder = cell % 10;
+    }
+    digits.push_back(static_cast<char>('0' + remainder));
+    while (!work.empty() && work.back() == 0) work.pop_back();
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+double BigUint::to_double() const {
+  double value = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    value = value * static_cast<double>(kLimbBase) + limbs_[i];
+    if (std::isinf(value)) return value;
+  }
+  return value;
+}
+
+void BigUint::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+}  // namespace bss

@@ -1,0 +1,66 @@
+// Minimal arbitrary-precision unsigned integer.
+//
+// The paper's upper bound on the election capacity of a compare&swap-(k) is
+// O(k^(k^2+3)); even for k = 4 that is 4^19 and for k = 6 it is 6^39, far past
+// uint64.  The capacity tables in bench/ print these bounds exactly, so we
+// need exact big integers.  Only the operations the capacity math needs are
+// provided: add, multiply, pow, compare, decimal conversion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bss {
+
+class BigUint {
+ public:
+  BigUint() = default;
+  explicit BigUint(std::uint64_t value);
+
+  static BigUint from_decimal(const std::string& text);
+  static BigUint factorial(int n);
+  /// base^exponent (0^0 == 1 by convention, as usual for combinatorics).
+  static BigUint pow(std::uint64_t base, std::uint64_t exponent);
+
+  BigUint& operator+=(const BigUint& other);
+  BigUint& operator*=(const BigUint& other);
+  friend BigUint operator+(BigUint lhs, const BigUint& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  friend BigUint operator*(BigUint lhs, const BigUint& rhs) {
+    lhs *= rhs;
+    return lhs;
+  }
+
+  /// Three-way comparison: negative/zero/positive like memcmp.
+  int compare(const BigUint& other) const;
+  friend bool operator==(const BigUint& a, const BigUint& b) {
+    return a.compare(b) == 0;
+  }
+  friend bool operator<(const BigUint& a, const BigUint& b) {
+    return a.compare(b) < 0;
+  }
+  friend bool operator<=(const BigUint& a, const BigUint& b) {
+    return a.compare(b) <= 0;
+  }
+  friend bool operator>(const BigUint& a, const BigUint& b) {
+    return a.compare(b) > 0;
+  }
+
+  bool is_zero() const { return limbs_.empty(); }
+  /// Number of decimal digits (1 for zero).
+  int decimal_digits() const;
+  std::string to_decimal() const;
+  /// Value as double (inf if too large); handy for ratio columns in tables.
+  double to_double() const;
+
+ private:
+  void trim();
+
+  // Little-endian base-2^32 limbs; empty means zero.
+  std::vector<std::uint32_t> limbs_;
+};
+
+}  // namespace bss

@@ -1,0 +1,52 @@
+// Narrowing and invariant helpers in the spirit of the GSL (C++ Core
+// Guidelines ES.46, I.6): fail loudly instead of silently truncating.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace bss {
+
+/// Thrown when a runtime invariant of the library is violated.  Invariant
+/// failures are programming errors (broken preconditions), so most callers
+/// should let this propagate.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Checks a precondition/invariant; throws InvariantError with location info.
+inline void expects(bool condition, const std::string& what,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw InvariantError(std::string(loc.file_name()) + ":" +
+                         std::to_string(loc.line()) + ": " + what);
+  }
+}
+
+/// Cast that throws if the value does not round-trip (GSL narrow).
+template <class To, class From>
+To checked_cast(From value) {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>);
+  const To result = static_cast<To>(value);
+  if (static_cast<From>(result) != value ||
+      ((result < To{}) != (value < From{}))) {
+    throw InvariantError("checked_cast: value does not fit target type");
+  }
+  return result;
+}
+
+/// Saturating factorial in uint64; throws when the exact value overflows.
+inline std::uint64_t factorial_u64(int n) {
+  expects(n >= 0, "factorial of negative number");
+  expects(n <= 20, "factorial_u64 overflows past 20!");
+  std::uint64_t result = 1;
+  for (int i = 2; i <= n; ++i) result *= static_cast<std::uint64_t>(i);
+  return result;
+}
+
+}  // namespace bss

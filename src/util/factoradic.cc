@@ -1,0 +1,61 @@
+#include "util/factoradic.h"
+
+#include <algorithm>
+
+#include "util/checked.h"
+
+namespace bss {
+
+std::vector<int> factoradic_digits(std::uint64_t index, int width) {
+  expects(width >= 0 && width <= 20, "factoradic width out of range");
+  expects(index < factorial_u64(width), "factoradic index out of range");
+  std::vector<int> digits(static_cast<std::size_t>(width));
+  std::uint64_t rest = index;
+  for (int i = 0; i < width; ++i) {
+    const std::uint64_t weight = factorial_u64(width - 1 - i);
+    digits[static_cast<std::size_t>(i)] = checked_cast<int>(rest / weight);
+    rest %= weight;
+  }
+  return digits;
+}
+
+std::uint64_t factoradic_index(const std::vector<int>& digits) {
+  const int width = checked_cast<int>(digits.size());
+  std::uint64_t index = 0;
+  for (int i = 0; i < width; ++i) {
+    const int digit = digits[static_cast<std::size_t>(i)];
+    expects(digit >= 0 && digit < width - i, "factoradic digit out of range");
+    index += static_cast<std::uint64_t>(digit) * factorial_u64(width - 1 - i);
+  }
+  return index;
+}
+
+std::vector<int> nth_permutation(std::uint64_t index, int width) {
+  const std::vector<int> digits = factoradic_digits(index, width);
+  std::vector<int> pool(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) pool[static_cast<std::size_t>(i)] = i;
+  std::vector<int> perm;
+  perm.reserve(static_cast<std::size_t>(width));
+  for (const int digit : digits) {
+    perm.push_back(pool[static_cast<std::size_t>(digit)]);
+    pool.erase(pool.begin() + digit);
+  }
+  return perm;
+}
+
+std::uint64_t permutation_rank(const std::vector<int>& perm) {
+  const int width = checked_cast<int>(perm.size());
+  std::vector<int> pool(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) pool[static_cast<std::size_t>(i)] = i;
+  std::vector<int> digits;
+  digits.reserve(static_cast<std::size_t>(width));
+  for (const int element : perm) {
+    const auto it = std::find(pool.begin(), pool.end(), element);
+    expects(it != pool.end(), "permutation_rank: input is not a permutation");
+    digits.push_back(checked_cast<int>(it - pool.begin()));
+    pool.erase(it);
+  }
+  return factoradic_index(digits);
+}
+
+}  // namespace bss

@@ -1,0 +1,35 @@
+// Factorial number system codec.
+//
+// The election algorithm (src/core/first_value_tree.h) statically assigns
+// each of the (k-1)! process slots a distinct permutation of the k-1
+// non-initial compare&swap symbols.  The factorial number system gives the
+// canonical bijection  slot index <-> permutation:
+//
+//   slot s in [0, d!) has digits  d_0 d_1 ... d_{d-1}  with  d_i in [0, d-i),
+//   s = sum_i  d_i * (d-1-i)!
+//
+// and digit d_i selects the (d_i)-th smallest *still unused* element at
+// position i (the Lehmer code of the permutation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bss {
+
+/// Decodes `index` into its `width` factoradic digits (Lehmer code).
+/// digit[i] is in [0, width - i).  Requires index < width!.
+std::vector<int> factoradic_digits(std::uint64_t index, int width);
+
+/// Inverse of factoradic_digits.
+std::uint64_t factoradic_index(const std::vector<int>& digits);
+
+/// Decodes `index` into the permutation of {0, ..., width-1} with that
+/// Lehmer code.  Requires index < width!.
+std::vector<int> nth_permutation(std::uint64_t index, int width);
+
+/// Inverse of nth_permutation: the rank of `perm` among permutations of
+/// {0, ..., perm.size()-1} in Lehmer order.
+std::uint64_t permutation_rank(const std::vector<int>& perm);
+
+}  // namespace bss

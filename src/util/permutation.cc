@@ -1,0 +1,52 @@
+#include "util/permutation.h"
+
+#include <algorithm>
+
+#include "util/checked.h"
+#include "util/factoradic.h"
+
+namespace bss {
+
+bool is_permutation_prefix(const std::vector<int>& sequence, int low,
+                           int high) {
+  std::vector<bool> seen(static_cast<std::size_t>(high - low), false);
+  for (const int symbol : sequence) {
+    if (symbol < low || symbol >= high) return false;
+    const auto slot = static_cast<std::size_t>(symbol - low);
+    if (seen[slot]) return false;
+    seen[slot] = true;
+  }
+  return true;
+}
+
+bool is_prefix_of(const std::vector<int>& prefix,
+                  const std::vector<int>& full) {
+  if (prefix.size() > full.size()) return false;
+  return std::equal(prefix.begin(), prefix.end(), full.begin());
+}
+
+std::string label_to_string(const std::vector<int>& label) {
+  std::string out;
+  for (std::size_t i = 0; i < label.size(); ++i) {
+    if (i > 0) out += '.';
+    if (label[i] == 0) {
+      out += "⊥";  // ⊥, the initial symbol
+    } else {
+      out += std::to_string(label[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> all_permutations(int width) {
+  expects(width >= 0 && width <= 8, "all_permutations: width too large");
+  const std::uint64_t count = factorial_u64(width);
+  std::vector<std::vector<int>> result;
+  result.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    result.push_back(nth_permutation(i, width));
+  }
+  return result;
+}
+
+}  // namespace bss

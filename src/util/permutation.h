@@ -1,0 +1,29 @@
+// Helpers for reasoning about compare&swap symbol sequences ("labels").
+//
+// A run of the election algorithm installs each non-initial symbol at most
+// once, so the register's value sequence is a prefix of a permutation of the
+// symbol set — exactly the "label" object of Afek & Stupp's Section 3.  These
+// helpers validate such sequences and map between paths and slots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bss {
+
+/// True iff `sequence` has no repeated elements and every element lies in
+/// [low, high).
+bool is_permutation_prefix(const std::vector<int>& sequence, int low, int high);
+
+/// True iff `prefix` is a (possibly equal) prefix of `full`.
+bool is_prefix_of(const std::vector<int>& prefix, const std::vector<int>& full);
+
+/// Renders a symbol sequence like "⊥.2.0.1" (⊥ printed for symbol 0).
+std::string label_to_string(const std::vector<int>& label);
+
+/// All permutations of {0..width-1}, in Lehmer (factoradic) order.
+/// Only sensible for small width; guarded at width <= 8.
+std::vector<std::vector<int>> all_permutations(int width);
+
+}  // namespace bss

@@ -1,0 +1,69 @@
+// xoshiro256** — a small, fast, high-quality PRNG used for seeded-random
+// schedulers and property-test sweeps.  Deterministic across platforms, which
+// std::mt19937 distributions are not; every randomized test in this repo can
+// be replayed from its printed seed.
+#pragma once
+
+#include <cstdint>
+
+#include "util/checked.h"
+
+namespace bss {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's rejection-free-ish method.
+  std::uint64_t next_below(std::uint64_t bound) {
+    expects(bound > 0, "Rng::next_below: bound must be positive");
+    // Debiased modulo: retry loop with negligible expected iterations.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  int next_int(int bound) {
+    return checked_cast<int>(next_below(static_cast<std::uint64_t>(bound)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool() { return (next_u64() & 1) != 0; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace bss

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "checker/bivalence.h"
+#include "checker/consensus_check.h"
+#include "checker/protocols.h"
+
+namespace bss::check {
+namespace {
+
+const std::vector<int> kBinary{0, 1};
+
+std::vector<std::vector<int>> binary_inputs(int n) {
+  return all_input_vectors(n, kBinary);
+}
+
+TEST(InputVectors, EnumeratesDomainPower) {
+  EXPECT_EQ(binary_inputs(2).size(), 4u);
+  EXPECT_EQ(binary_inputs(3).size(), 8u);
+  const auto three = all_input_vectors(2, std::vector<int>{5, 6, 7});
+  EXPECT_EQ(three.size(), 9u);
+}
+
+// ------------------------------------------------------------- R/W registers
+
+TEST(Checker, RwWriteReadViolatesAgreement) {
+  RwWriteReadConsensus protocol;
+  const CheckResult result = check_consensus(protocol, binary_inputs(2));
+  EXPECT_FALSE(result.solves);
+  EXPECT_EQ(result.violation, Violation::kAgreement);
+  EXPECT_FALSE(result.schedule.empty());
+}
+
+TEST(Checker, RwSpinIsSafeButNotWaitFree) {
+  RwSpinConsensus protocol;
+  const CheckResult result = check_consensus(protocol, binary_inputs(2));
+  EXPECT_FALSE(result.solves);
+  EXPECT_EQ(result.violation, Violation::kNonTermination)
+      << result.detail;  // never disagreement — it fails by waiting
+}
+
+// ----------------------------------------------------------------- test&set
+
+TEST(Checker, TasSolvesTwoProcessConsensus) {
+  TasConsensus2 protocol;
+  const CheckResult result = check_consensus(protocol, binary_inputs(2));
+  EXPECT_TRUE(result.solves) << result.detail;
+  EXPECT_GT(result.states_explored, 0u);
+}
+
+TEST(Checker, TasThreeProcessAttemptLivelocks) {
+  TasSpinConsensus3 protocol;
+  const CheckResult result = check_consensus(protocol, binary_inputs(3));
+  EXPECT_FALSE(result.solves);
+  EXPECT_EQ(result.violation, Violation::kNonTermination) << result.detail;
+}
+
+// ------------------------------------------------------------ compare&swap-(k)
+
+TEST(Checker, CasSolvesUpToKMinusOne) {
+  // n <= k-1: certified for several (n, k) pairs.
+  for (const auto& [n, k] : {std::pair{2, 3}, {2, 4}, {3, 4}, {3, 5}}) {
+    CasConsensusK protocol(n, k);
+    const CheckResult result = check_consensus(protocol, binary_inputs(n));
+    EXPECT_TRUE(result.solves)
+        << "n=" << n << " k=" << k << ": " << result.detail;
+  }
+}
+
+TEST(Checker, CasOverloadedFails) {
+  // n > k-1: two processes share a symbol; bounded size bites.
+  CasConsensusK protocol(3, 3);
+  const CheckResult result = check_consensus(protocol, binary_inputs(3));
+  EXPECT_FALSE(result.solves);
+  EXPECT_EQ(result.violation, Violation::kAgreement) << result.detail;
+}
+
+TEST(Checker, CasConsensusNumberBoundaryExact) {
+  // The boundary is sharp: (n=3, k=4) works, (n=4, k=4) does not.
+  EXPECT_TRUE(check_consensus(CasConsensusK(3, 4), binary_inputs(3)).solves);
+  EXPECT_FALSE(check_consensus(CasConsensusK(4, 4), binary_inputs(4)).solves);
+}
+
+// ----------------------------------------------------------------- swap
+
+TEST(Checker, SwapSolvesTwoNotThree) {
+  SwapConsensusN swap2(2);
+  EXPECT_TRUE(check_consensus(swap2, binary_inputs(2)).solves);
+  SwapConsensusN swap3(3);
+  const CheckResult result = check_consensus(swap3, binary_inputs(3));
+  EXPECT_FALSE(result.solves);
+  EXPECT_EQ(result.violation, Violation::kAgreement) << result.detail;
+}
+
+// --------------------------------------------------------------- sticky bits
+
+TEST(Checker, StickySolvesAnyN) {
+  for (int n = 2; n <= 4; ++n) {
+    StickyConsensus protocol(n);
+    const CheckResult result = check_consensus(protocol, binary_inputs(n));
+    EXPECT_TRUE(result.solves) << "n=" << n << ": " << result.detail;
+  }
+}
+
+// ------------------------------------------------------------- set consensus
+
+TEST(Checker, AgreementParameterRelaxesToSetConsensus) {
+  // The overloaded cas protocol fails 1-agreement but satisfies 2-set
+  // consensus here: at most two symbol groups exist for n=3, k=3.
+  CasConsensusK protocol(3, 3);
+  CheckOptions options;
+  options.agreement = 2;
+  const CheckResult result =
+      check_consensus(protocol, binary_inputs(3), options);
+  EXPECT_TRUE(result.solves) << result.detail;
+}
+
+TEST(Checker, RwWriteReadFailsEvenTwoSetConsensusOnWiderDomain) {
+  // With inputs from {0,1,2}, the write-read protocol can produce... at most
+  // 2 decisions among 2 processes — so 2-set consensus trivially holds; this
+  // documents that l-set consensus with l >= n is vacuous for deciders <= l.
+  RwWriteReadConsensus protocol;
+  CheckOptions options;
+  options.agreement = 2;
+  const CheckResult result = check_consensus(
+      protocol, all_input_vectors(2, std::vector<int>{0, 1, 2}), options);
+  EXPECT_TRUE(result.solves);
+}
+
+// ----------------------------------------------------------------- valency
+
+TEST(Valency, MixedInputsAreBivalentForTas) {
+  // A correct protocol still starts bivalent on mixed inputs (the adversary
+  // chooses who wins), but must pass through critical states.
+  TasConsensus2 protocol;
+  const ValencyReport report = analyze_valency(protocol, {0, 1});
+  EXPECT_TRUE(report.initial_bivalent);
+  EXPECT_GT(report.bivalent_states, 0u);
+  EXPECT_GT(report.univalent_states, 0u);
+  EXPECT_GE(report.critical_state, 0);
+  EXPECT_EQ(report.null_valent_states, 0u);
+}
+
+TEST(Valency, UniformInputsAreUnivalent) {
+  TasConsensus2 protocol;
+  const ValencyReport report = analyze_valency(protocol, {1, 1});
+  EXPECT_FALSE(report.initial_bivalent);
+  EXPECT_EQ(report.bivalent_states, 0u);
+}
+
+TEST(Valency, SummaryMentionsCounts) {
+  TasConsensus2 protocol;
+  const ValencyReport report = analyze_valency(protocol, {0, 1});
+  EXPECT_NE(report.summary().find("bivalent"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bss::check

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "game/exhaustive.h"
+#include "game/game.h"
+#include "game/potential.h"
+#include "game/strategy.h"
+#include "util/checked.h"
+
+namespace bss::game {
+namespace {
+
+TEST(Game, BoundIsMToTheK) {
+  EXPECT_EQ(MoveJumpGame(2, 2).bound(), 4u);
+  EXPECT_EQ(MoveJumpGame(3, 2).bound(), 8u);
+  EXPECT_EQ(MoveJumpGame(4, 3).bound(), 81u);
+  EXPECT_EQ(MoveJumpGame(5, 1).bound(), 1u);
+}
+
+TEST(Game, MovePaintsAndCounts) {
+  MoveJumpGame game(3, 1, 2);
+  EXPECT_TRUE(game.move(0, 1));
+  EXPECT_TRUE(game.edge_painted(2, 1));
+  EXPECT_FALSE(game.edge_painted(1, 2));
+  EXPECT_EQ(game.move_count(), 1u);
+  EXPECT_EQ(game.position(0), 1);
+}
+
+TEST(Game, CycleClosingMoveEndsGameUncounted) {
+  MoveJumpGame game(2, 1, 1);
+  EXPECT_TRUE(game.move(0, 0));   // paints 1 -> 0
+  EXPECT_FALSE(game.move(0, 1));  // 0 -> 1 would close the 2-cycle
+  EXPECT_TRUE(game.cycle_closed());
+  EXPECT_EQ(game.move_count(), 1u);
+  EXPECT_FALSE(game.can_move(0, 1));  // game over
+}
+
+TEST(Game, RepaintingAnEdgeIsLegalAndCounts) {
+  MoveJumpGame game(3, 2, 2);
+  EXPECT_TRUE(game.move(0, 1));
+  EXPECT_TRUE(game.move(1, 1));  // same edge 2 -> 1 again
+  EXPECT_EQ(game.move_count(), 2u);
+  EXPECT_FALSE(game.cycle_closed());
+}
+
+TEST(Game, JumpRequiresAnotherAgentsMove) {
+  MoveJumpGame game(3, 2, 2);
+  EXPECT_FALSE(game.can_jump(1, 0));  // nobody moved into 0 yet
+  EXPECT_TRUE(game.move(0, 0));       // agent 0 moves 2 -> 0
+  EXPECT_TRUE(game.can_jump(1, 0));   // now agent 1 may jump there
+  EXPECT_FALSE(game.can_jump(0, 0));  // not the mover itself (and it's there)
+  game.jump(1, 0);
+  EXPECT_EQ(game.position(1), 0);
+  // Arrival consumed the token; leaving and returning needs a fresh move.
+  EXPECT_FALSE(game.can_jump(1, 0));
+}
+
+TEST(Game, OwnMoveDoesNotEnableOwnJump) {
+  MoveJumpGame game(3, 2, 2);
+  EXPECT_TRUE(game.move(0, 1));  // 2 -> 1
+  EXPECT_TRUE(game.move(0, 0));  // 1 -> 0; agent 0 itself moved into 1
+  EXPECT_FALSE(game.can_jump(0, 1));
+  EXPECT_TRUE(game.can_jump(1, 1));
+}
+
+TEST(Game, JumpTokenSurvivesUntilVisit) {
+  MoveJumpGame game(4, 2, 3);
+  EXPECT_TRUE(game.move(0, 2));
+  EXPECT_TRUE(game.move(0, 1));
+  // Agent 1 holds tokens for both 2 and 1.
+  EXPECT_TRUE(game.can_jump(1, 2));
+  EXPECT_TRUE(game.can_jump(1, 1));
+  game.jump(1, 2);
+  EXPECT_TRUE(game.can_jump(1, 1));  // the other token is untouched
+}
+
+TEST(Game, IllegalActionsThrow) {
+  MoveJumpGame game(3, 1, 2);
+  EXPECT_THROW(game.move(0, 2), InvariantError);   // move to own node
+  EXPECT_THROW(game.jump(0, 1), InvariantError);   // no token
+  EXPECT_THROW(game.move(1, 0), InvariantError);   // no such agent
+  EXPECT_THROW(MoveJumpGame(1, 1), InvariantError);
+  EXPECT_THROW(MoveJumpGame(3, 2, std::vector<int>{0}), InvariantError);
+  EXPECT_THROW(MoveJumpGame(3, 1, std::vector<int>{3}), InvariantError);
+}
+
+// ------------------------------------------------------------ the Lemma
+
+class LemmaBound : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LemmaBound, NoRandomPlayExceedsMToTheK) {
+  const auto [k, m] = GetParam();
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    MoveJumpGame game(k, m);
+    RandomStrategy strategy(seed, 0.6);
+    const PlayResult result = play(game, strategy);
+    EXPECT_LE(result.moves, game.bound())
+        << "k=" << k << " m=" << m << " seed=" << seed;
+    EXPECT_EQ(result.moves, game.move_count());
+  }
+}
+
+TEST_P(LemmaBound, GreedyDescentStaysWithinBound) {
+  const auto [k, m] = GetParam();
+  MoveJumpGame game(k, m);
+  GreedyDescentStrategy strategy;
+  const PlayResult result = play(game, strategy);
+  if (m >= 2) {
+    EXPECT_LE(result.moves, game.bound());
+  }
+  EXPECT_GE(result.moves, static_cast<std::uint64_t>(k - 1));  // the ladder
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, LemmaBound,
+                         ::testing::Values(std::tuple{2, 2}, std::tuple{3, 2},
+                                           std::tuple{3, 3}, std::tuple{4, 2},
+                                           std::tuple{4, 3}, std::tuple{5, 2},
+                                           std::tuple{5, 4}, std::tuple{6, 3}));
+
+TEST(Lemma, SingleAgentWalksAPathOnly) {
+  // With m = 1 no jumps ever enable; the longest play is a Hamiltonian path:
+  // k-1 moves.  (The m^k bound presumes m >= 2 — see DESIGN.md.)
+  for (int k = 2; k <= 6; ++k) {
+    MoveJumpGame game(k, 1);
+    GreedyDescentStrategy strategy;
+    const PlayResult result = play(game, strategy);
+    EXPECT_EQ(result.moves, static_cast<std::uint64_t>(k - 1));
+    EXPECT_EQ(result.jumps, 0u);
+  }
+}
+
+// --------------------------------------------------------------- potential
+
+TEST(Potential, EveryMoveDescendsAndDropsPhi) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    MoveJumpGame game(4, 3);
+    RandomStrategy strategy(seed);
+    play(game, strategy);
+    const PotentialReplay replay = analyze_potential(game);
+    EXPECT_LE(replay.phi_start, game.bound());
+    EXPECT_TRUE(replay.all_moves_descend);
+    for (const auto drop : replay.move_drops) EXPECT_GE(drop, 1u);
+  }
+}
+
+TEST(Potential, TopoIndexRespectsPaintedEdges) {
+  MoveJumpGame game(4, 2);
+  RandomStrategy strategy(3);
+  play(game, strategy);
+  const PotentialReplay replay = analyze_potential(game);
+  for (int from = 0; from < 4; ++from) {
+    for (int to = 0; to < 4; ++to) {
+      if (game.edge_painted(from, to)) {
+        EXPECT_GT(replay.topo_index[static_cast<std::size_t>(from)],
+                  replay.topo_index[static_cast<std::size_t>(to)]);
+      }
+    }
+  }
+}
+
+TEST(Potential, PhiTrajectoryHasOneEntryPerAction) {
+  MoveJumpGame game(3, 2);
+  ASSERT_TRUE(game.move(0, 1));
+  game.jump(1, 1);
+  ASSERT_TRUE(game.move(1, 0));
+  const PotentialReplay replay = analyze_potential(game);
+  EXPECT_EQ(replay.phi.size(), 4u);  // start + 3 actions
+  EXPECT_EQ(replay.move_drops.size(), 2u);
+}
+
+// --------------------------------------------------- property sweep (random)
+
+class GameProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(GameProperty, PlayedGamesSatisfyAllInvariants) {
+  const auto [k, m, seed] = GetParam();
+  MoveJumpGame game(k, m);
+  RandomStrategy strategy(seed, 0.5);
+  const PlayResult result = play(game, strategy);
+  // The Lemma bound (m >= 2 throughout this sweep).
+  EXPECT_LE(result.moves, game.bound());
+  // Painted graph stayed acyclic: the potential analysis can topo-sort it.
+  const PotentialReplay replay = analyze_potential(game);
+  EXPECT_LE(replay.phi_start, game.bound());
+  EXPECT_TRUE(replay.all_moves_descend);
+  for (const auto drop : replay.move_drops) EXPECT_GE(drop, 1u);
+  // Jumps never counted as moves.
+  EXPECT_EQ(result.moves, game.move_count());
+  // Every agent ended on a real node.
+  for (int agent = 0; agent < m; ++agent) {
+    EXPECT_GE(game.position(agent), 0);
+    EXPECT_LT(game.position(agent), k);
+  }
+  // phi trajectory bookkeeping: one entry per logged action plus the start.
+  EXPECT_EQ(replay.phi.size(), game.log().size() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GameProperty,
+    ::testing::Combine(::testing::Values(3, 4, 5), ::testing::Values(2, 3),
+                       ::testing::Values(1ULL, 7ULL, 13ULL, 99ULL)));
+
+// -------------------------------------------------------------- exhaustive
+
+TEST(Exhaustive, TwoNodesTwoAgents) {
+  // Hand analysis: both agents at node 1 can each move 1 -> 0 and nothing
+  // re-enables upward motion; the exact maximum is 2 moves (bound: 4).
+  MoveJumpGame game(2, 2);
+  const ExhaustiveResult result = solve_exhaustive(game);
+  EXPECT_EQ(result.max_moves, 2u);
+  EXPECT_LE(result.max_moves, game.bound());
+}
+
+TEST(Exhaustive, SingleAgentIsHamiltonianPath) {
+  for (int k = 2; k <= 4; ++k) {
+    MoveJumpGame game(k, 1);
+    const ExhaustiveResult result = solve_exhaustive(game);
+    EXPECT_EQ(result.max_moves, static_cast<std::uint64_t>(k - 1));
+  }
+}
+
+class ExhaustiveBound : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(ExhaustiveBound, ExactMaxRespectsLemma) {
+  const auto [k, m] = GetParam();
+  MoveJumpGame game(k, m);
+  const ExhaustiveResult result = solve_exhaustive(game);
+  EXPECT_LE(result.max_moves, game.bound()) << "k=" << k << " m=" << m;
+  // And no strategy we run ever beats the exhaustive optimum.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    MoveJumpGame trial(k, m);
+    RandomStrategy strategy(seed);
+    const PlayResult played = play(trial, strategy);
+    EXPECT_LE(played.moves, result.max_moves);
+  }
+  MoveJumpGame greedy_game(k, m);
+  GreedyDescentStrategy greedy;
+  EXPECT_LE(play(greedy_game, greedy).moves, result.max_moves);
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, ExhaustiveBound,
+                         ::testing::Values(std::tuple{2, 2}, std::tuple{2, 3},
+                                           std::tuple{3, 2}, std::tuple{3, 3},
+                                           std::tuple{4, 2}));
+
+TEST(Exhaustive, RejectsMidGameAndHugeInstances) {
+  MoveJumpGame played(3, 2);
+  ASSERT_TRUE(played.move(0, 1));
+  EXPECT_THROW(solve_exhaustive(played), InvariantError);
+  MoveJumpGame huge(7, 5);
+  EXPECT_THROW(solve_exhaustive(huge), InvariantError);
+}
+
+}  // namespace
+}  // namespace bss::game

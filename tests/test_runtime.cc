@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "registers/mwmr_register.h"
+#include "registers/swmr_register.h"
+#include "runtime/crash_plan.h"
+#include "runtime/scheduler.h"
+#include "runtime/sim_env.h"
+
+namespace bss::sim {
+namespace {
+
+TEST(SimEnv, RunsSingleProcessToCompletion) {
+  SimEnv env;
+  MwmrRegister<int> reg("r", 0);
+  int observed = -1;
+  env.add_process([&](Ctx& ctx) {
+    reg.write(ctx, 41);
+    observed = reg.read(ctx) + 1;
+  });
+  RoundRobinScheduler sched;
+  const RunReport report = env.run(sched);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.finished_count(), 1);
+  EXPECT_EQ(observed, 42);
+  EXPECT_EQ(report.total_steps, 2u);
+}
+
+TEST(SimEnv, ProcessWithNoSharedOpsFinishes) {
+  SimEnv env;
+  bool ran = false;
+  env.add_process([&](Ctx&) { ran = true; });
+  RoundRobinScheduler sched;
+  const RunReport report = env.run(sched);
+  EXPECT_TRUE(report.clean());
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(report.total_steps, 0u);
+}
+
+TEST(SimEnv, DeterministicUnderSameScheduler) {
+  const auto run_once = [](std::uint64_t seed) {
+    SimEnv env;
+    MwmrRegister<int> reg("r", 0);
+    std::vector<int> reads;
+    for (int pid = 0; pid < 4; ++pid) {
+      env.add_process([&, pid](Ctx& ctx) {
+        reg.write(ctx, pid);
+        reads.push_back(reg.read(ctx));
+      });
+    }
+    RandomScheduler sched(seed);
+    env.run(sched);
+    return reads;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  // Different seeds usually produce different interleavings; do not assert
+  // inequality (it is not guaranteed), just that both complete.
+  EXPECT_EQ(run_once(6).size(), 4u);
+}
+
+TEST(SimEnv, ReplayReproducesDecisions) {
+  std::vector<int> first_decisions;
+  std::vector<int> first_reads;
+  {
+    SimEnv env;
+    MwmrRegister<int> reg("r", 0);
+    for (int pid = 0; pid < 3; ++pid) {
+      env.add_process([&, pid](Ctx& ctx) {
+        reg.write(ctx, pid);
+        first_reads.push_back(reg.read(ctx));
+      });
+    }
+    RandomScheduler sched(17);
+    env.run(sched);
+    first_decisions = env.decisions();
+  }
+  SimEnv env;
+  MwmrRegister<int> reg("r", 0);
+  std::vector<int> replay_reads;
+  for (int pid = 0; pid < 3; ++pid) {
+    env.add_process([&, pid](Ctx& ctx) {
+      reg.write(ctx, pid);
+      replay_reads.push_back(reg.read(ctx));
+    });
+  }
+  ReplayScheduler sched(first_decisions);
+  env.run(sched);
+  EXPECT_EQ(replay_reads, first_reads);
+  EXPECT_EQ(env.decisions(), first_decisions);
+}
+
+TEST(SimEnv, TraceRecordsOperationsInOrder) {
+  SimEnv env;
+  MwmrRegister<int> reg("reg", 7);
+  env.add_process([&](Ctx& ctx) {
+    (void)reg.read(ctx);
+    reg.write(ctx, 9);
+  });
+  RoundRobinScheduler sched;
+  env.run(sched);
+  const auto& events = env.trace().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].desc.op, "read");
+  EXPECT_TRUE(events[0].has_result);
+  EXPECT_EQ(events[0].result, 7);
+  EXPECT_EQ(events[1].desc.op, "write");
+  EXPECT_EQ(events[1].desc.arg0, 9);
+  EXPECT_EQ(events[0].step, 0u);
+  EXPECT_EQ(events[1].step, 1u);
+}
+
+TEST(SimEnv, CrashPlanKillsBeforeOp) {
+  SimEnv env;
+  MwmrRegister<int> reg("r", 0);
+  env.add_process([&](Ctx& ctx) {
+    reg.write(ctx, 1);
+    reg.write(ctx, 2);  // never reached: crash before op 1
+  });
+  env.add_process([&](Ctx& ctx) { reg.write(ctx, 3); });
+  CrashPlan crashes;
+  crashes.crash_before_op(0, 1);
+  RoundRobinScheduler sched;
+  const RunReport report = env.run(sched, crashes);
+  EXPECT_EQ(report.outcomes[0], ProcOutcome::kCrashed);
+  EXPECT_EQ(report.outcomes[1], ProcOutcome::kFinished);
+  EXPECT_NE(reg.peek(), 2);
+}
+
+TEST(SimEnv, CrashBeforeFirstOpMeansNoSteps) {
+  SimEnv env;
+  MwmrRegister<int> reg("r", 0);
+  env.add_process([&](Ctx& ctx) { reg.write(ctx, 1); });
+  CrashPlan crashes;
+  crashes.crash_before_op(0, 0);
+  RoundRobinScheduler sched;
+  const RunReport report = env.run(sched, crashes);
+  EXPECT_EQ(report.outcomes[0], ProcOutcome::kCrashed);
+  EXPECT_EQ(report.total_steps, 0u);
+  EXPECT_EQ(reg.peek(), 0);
+}
+
+TEST(SimEnv, ProcessExceptionReportedAsFailure) {
+  SimEnv env;
+  MwmrRegister<int> reg("r", 0);
+  env.add_process([&](Ctx& ctx) {
+    reg.write(ctx, 1);
+    throw std::runtime_error("intentional test failure");
+  });
+  RoundRobinScheduler sched;
+  const RunReport report = env.run(sched);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.outcomes[0], ProcOutcome::kFailed);
+  EXPECT_NE(report.errors[0].find("intentional"), std::string::npos);
+}
+
+TEST(SimEnv, StepLimitTerminatesSpinners) {
+  SimEnv env({.step_limit = 50});
+  MwmrRegister<int> reg("r", 0);
+  env.add_process([&](Ctx& ctx) {
+    for (;;) (void)reg.read(ctx);  // deliberately non-wait-free
+  });
+  RoundRobinScheduler sched;
+  const RunReport report = env.run(sched);
+  EXPECT_TRUE(report.step_limit_hit);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.total_steps, 50u);
+}
+
+TEST(SimEnv, SoloSchedulerRunsLowestPidFirst) {
+  SimEnv env;
+  MwmrRegister<int> reg("r", -1);
+  std::vector<int> order;
+  for (int pid = 0; pid < 3; ++pid) {
+    env.add_process([&, pid](Ctx& ctx) {
+      reg.write(ctx, pid);
+      order.push_back(pid);
+    });
+  }
+  SoloScheduler sched;
+  env.run(sched);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimEnv, ManyProcessesInterleaveAndFinish) {
+  constexpr int kProcs = 64;
+  SimEnv env;
+  MwmrRegister<int> reg("r", 0);
+  env.add_process([&](Ctx& ctx) {  // pid 0 also participates
+    for (int i = 0; i < 10; ++i) (void)reg.read(ctx);
+  });
+  for (int pid = 1; pid < kProcs; ++pid) {
+    env.add_process([&](Ctx& ctx) {
+      for (int i = 0; i < 10; ++i) reg.write(ctx, i);
+    });
+  }
+  RandomScheduler sched(3);
+  const RunReport report = env.run(sched);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.finished_count(), kProcs);
+  EXPECT_EQ(report.total_steps, static_cast<std::uint64_t>(kProcs) * 10);
+}
+
+TEST(Scheduler, CasConvoyPrefersNonCas) {
+  // One process about to cas, one about to read: convoy must pick the read.
+  ProcView p0{.pid = 0, .ready = true, .pending = {"c", "cas", 0, 1}};
+  ProcView p1{.pid = 1, .ready = true, .pending = {"r", "read", 0, 0}};
+  std::vector<ProcView> procs{p0, p1};
+  std::vector<int> runnable{0, 1};
+  CasConvoyScheduler sched(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sched.pick({0, runnable, procs}), 1);
+  }
+}
+
+TEST(Trace, FiltersAndCounts) {
+  Trace trace;
+  trace.append({0, 1, {"a", "read", 0, 0}, 0, false});
+  trace.append({1, 2, {"b", "write", 5, 0}, 0, false});
+  trace.append({2, 1, {"a", "write", 6, 0}, 0, false});
+  EXPECT_EQ(trace.for_object("a").size(), 2u);
+  EXPECT_EQ(trace.for_pid(2).size(), 1u);
+  EXPECT_EQ(trace.count(1), 2u);
+  EXPECT_EQ(trace.count(1, "write"), 1u);
+  EXPECT_NE(trace.to_string().find("b.write"), std::string::npos);
+}
+
+TEST(CrashPlan, RandomPlanRespectsProbabilityEdges) {
+  Rng rng(11);
+  const CrashPlan none = CrashPlan::random(20, 0.0, 10, rng);
+  EXPECT_TRUE(none.empty());
+  const CrashPlan all = CrashPlan::random(20, 1.0, 10, rng);
+  EXPECT_EQ(all.victim_count(), 20u);
+}
+
+TEST(SwmrRegister, SecondWriterTrapped) {
+  SimEnv env;
+  SwmrRegister<int> reg("r", SwmrRegister<int>::kAnyWriter, 0);
+  env.add_process([&](Ctx& ctx) { reg.write(ctx, 1); });
+  env.add_process([&](Ctx& ctx) { reg.write(ctx, 2); });
+  RoundRobinScheduler sched;
+  const RunReport report = env.run(sched);
+  // Exactly one of them must have failed the single-writer discipline.
+  EXPECT_EQ(report.finished_count(), 1);
+  int failed = 0;
+  for (const auto outcome : report.outcomes) {
+    if (outcome == ProcOutcome::kFailed) ++failed;
+  }
+  EXPECT_EQ(failed, 1);
+}
+
+}  // namespace
+}  // namespace bss::sim

@@ -1,0 +1,176 @@
+// The incremental SimEnv API (start/pending/inject/step/finish) — the
+// mechanism the Section 3 emulation drives v-processes with.
+#include <gtest/gtest.h>
+
+#include "registers/mwmr_register.h"
+#include "runtime/sim_env.h"
+
+namespace bss::sim {
+namespace {
+
+TEST(Incremental, PendingOpsVisibleBeforeExecution) {
+  SimEnv env;
+  MwmrRegister<int> reg("r", 5);
+  env.add_process([&](Ctx& ctx) {
+    (void)reg.read(ctx);
+    reg.write(ctx, 9);
+  });
+  env.start();
+  ASSERT_TRUE(env.is_parked(0));
+  EXPECT_EQ(env.pending_of(0).op, "read");
+  EXPECT_EQ(env.pending_of(0).object, "r");
+  const TraceEvent first = env.step_process(0);
+  EXPECT_EQ(first.desc.op, "read");
+  EXPECT_EQ(first.result, 5);
+  ASSERT_TRUE(env.is_parked(0));
+  EXPECT_EQ(env.pending_of(0).op, "write");
+  EXPECT_EQ(env.pending_of(0).arg0, 9);
+  env.step_process(0);
+  EXPECT_TRUE(env.is_finished(0));
+  EXPECT_EQ(env.outcome_of(0), ProcOutcome::kFinished);
+  env.finish();
+  EXPECT_EQ(reg.peek(), 9);
+}
+
+TEST(Incremental, InjectionDeliversResults) {
+  SimEnv env;
+  std::int64_t got = -1;
+  env.add_process([&](Ctx& ctx) {
+    ctx.sync({"fake", "cas", 0, 1});
+    got = ctx.take_injection();
+  });
+  env.start();
+  env.inject(0, 42);
+  env.step_process(0);
+  env.finish();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Incremental, MissingInjectionIsAnError) {
+  SimEnv env;
+  env.add_process([&](Ctx& ctx) {
+    ctx.sync({"fake", "cas", 0, 1});
+    (void)ctx.take_injection();  // nothing injected: invariant error
+  });
+  env.start();
+  env.step_process(0);
+  EXPECT_TRUE(env.is_finished(0));
+  EXPECT_EQ(env.outcome_of(0), ProcOutcome::kFailed);
+  EXPECT_NE(env.error_of(0).find("injected"), std::string::npos);
+  env.finish();
+}
+
+TEST(Incremental, InjectionIsConsumedPerStep) {
+  SimEnv env;
+  std::vector<std::int64_t> got;
+  env.add_process([&](Ctx& ctx) {
+    for (int i = 0; i < 2; ++i) {
+      ctx.sync({"fake", "cas", i, i + 1});
+      got.push_back(ctx.take_injection());
+    }
+  });
+  env.start();
+  env.inject(0, 7);
+  env.step_process(0);
+  env.inject(0, 8);
+  env.step_process(0);
+  env.finish();
+  EXPECT_EQ(got, (std::vector<std::int64_t>{7, 8}));
+}
+
+TEST(Incremental, InterleavesTwoProcessesUnderDriverControl) {
+  SimEnv env;
+  MwmrRegister<int> reg("r", 0);
+  std::vector<int> p1_reads;
+  env.add_process([&](Ctx& ctx) {
+    reg.write(ctx, 1);
+    reg.write(ctx, 2);
+  });
+  env.add_process([&](Ctx& ctx) {
+    p1_reads.push_back(reg.read(ctx));
+    p1_reads.push_back(reg.read(ctx));
+  });
+  env.start();
+  env.step_process(0);  // write 1
+  env.step_process(1);  // read -> 1
+  env.step_process(0);  // write 2
+  env.step_process(1);  // read -> 2
+  env.finish();
+  EXPECT_EQ(p1_reads, (std::vector<int>{1, 2}));
+}
+
+TEST(Incremental, KillUnwindsAParkedProcess) {
+  SimEnv env;
+  MwmrRegister<int> reg("r", 0);
+  env.add_process([&](Ctx& ctx) {
+    reg.write(ctx, 1);
+    reg.write(ctx, 2);
+  });
+  env.start();
+  env.step_process(0);
+  env.kill_process(0);
+  EXPECT_TRUE(env.is_finished(0));
+  EXPECT_EQ(env.outcome_of(0), ProcOutcome::kCrashed);
+  env.finish();
+  EXPECT_EQ(reg.peek(), 1);
+}
+
+TEST(Incremental, FinishKillsEverythingParked) {
+  SimEnv env;
+  MwmrRegister<int> reg("r", 0);
+  for (int pid = 0; pid < 3; ++pid) {
+    env.add_process([&](Ctx& ctx) {
+      for (int i = 0; i < 100; ++i) reg.write(ctx, i);
+    });
+  }
+  env.start();
+  env.step_process(1);
+  env.finish();
+  for (int pid = 0; pid < 3; ++pid) {
+    EXPECT_TRUE(env.is_finished(pid));
+    EXPECT_EQ(env.outcome_of(pid), ProcOutcome::kCrashed);
+  }
+}
+
+TEST(Incremental, StepTraceIsRecorded) {
+  SimEnv env;
+  MwmrRegister<int> reg("r", 3);
+  env.add_process([&](Ctx& ctx) { (void)reg.read(ctx); });
+  env.start();
+  env.step_process(0);
+  env.finish();
+  ASSERT_EQ(env.trace().size(), 1u);
+  EXPECT_EQ(env.trace().events()[0].desc.op, "read");
+}
+
+TEST(Incremental, MixedModesRejected) {
+  SimEnv env;
+  env.add_process([](Ctx&) {});
+  env.start();
+  RoundRobinScheduler scheduler;
+  EXPECT_THROW(env.run(scheduler), bss::InvariantError);
+  env.finish();
+}
+
+TEST(Incremental, GlobalStepAdvancesWithSteps) {
+  SimEnv env;
+  MwmrRegister<int> reg("r", 0);
+  std::vector<std::uint64_t> stamps;
+  env.add_process([&](Ctx& ctx) {
+    stamps.push_back(ctx.global_step());
+    reg.write(ctx, 1);
+    stamps.push_back(ctx.global_step());
+    reg.write(ctx, 2);
+    stamps.push_back(ctx.global_step());
+  });
+  env.start();
+  env.step_process(0);
+  env.step_process(0);
+  env.finish();
+  ASSERT_EQ(stamps.size(), 3u);
+  EXPECT_LE(stamps[0], stamps[1]);
+  EXPECT_LT(stamps[1], stamps[2]);
+}
+
+}  // namespace
+}  // namespace bss::sim
