@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_burns.cc" "bench/CMakeFiles/bench_burns.dir/bench_burns.cc.o" "gcc" "bench/CMakeFiles/bench_burns.dir/bench_burns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/burns/CMakeFiles/bss_burns.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/bss_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/registers/CMakeFiles/bss_registers.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bss_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_burns.dir/bench_burns.cc.o"
+  "CMakeFiles/bench_burns.dir/bench_burns.cc.o.d"
+  "bench_burns"
+  "bench_burns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_burns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_tour.dir/hierarchy_tour.cpp.o"
+  "CMakeFiles/hierarchy_tour.dir/hierarchy_tour.cpp.o.d"
+  "hierarchy_tour"
+  "hierarchy_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leader_worker_pool.dir/leader_worker_pool.cpp.o"
+  "CMakeFiles/leader_worker_pool.dir/leader_worker_pool.cpp.o.d"
+  "leader_worker_pool"
+  "leader_worker_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leader_worker_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

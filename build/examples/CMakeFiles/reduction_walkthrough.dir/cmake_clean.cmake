@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_walkthrough.dir/reduction_walkthrough.cpp.o"
+  "CMakeFiles/reduction_walkthrough.dir/reduction_walkthrough.cpp.o.d"
+  "reduction_walkthrough"
+  "reduction_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

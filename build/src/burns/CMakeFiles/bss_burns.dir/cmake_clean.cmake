@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bss_burns.dir/burns_election.cc.o"
+  "CMakeFiles/bss_burns.dir/burns_election.cc.o.d"
+  "libbss_burns.a"
+  "libbss_burns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bss_burns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

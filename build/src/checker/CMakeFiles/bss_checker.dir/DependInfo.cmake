@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checker/bivalence.cc" "src/checker/CMakeFiles/bss_checker.dir/bivalence.cc.o" "gcc" "src/checker/CMakeFiles/bss_checker.dir/bivalence.cc.o.d"
+  "/root/repo/src/checker/consensus_check.cc" "src/checker/CMakeFiles/bss_checker.dir/consensus_check.cc.o" "gcc" "src/checker/CMakeFiles/bss_checker.dir/consensus_check.cc.o.d"
+  "/root/repo/src/checker/protocols.cc" "src/checker/CMakeFiles/bss_checker.dir/protocols.cc.o" "gcc" "src/checker/CMakeFiles/bss_checker.dir/protocols.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

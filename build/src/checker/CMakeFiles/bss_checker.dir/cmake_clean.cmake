@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bss_checker.dir/bivalence.cc.o"
+  "CMakeFiles/bss_checker.dir/bivalence.cc.o.d"
+  "CMakeFiles/bss_checker.dir/consensus_check.cc.o"
+  "CMakeFiles/bss_checker.dir/consensus_check.cc.o.d"
+  "CMakeFiles/bss_checker.dir/protocols.cc.o"
+  "CMakeFiles/bss_checker.dir/protocols.cc.o.d"
+  "libbss_checker.a"
+  "libbss_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bss_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

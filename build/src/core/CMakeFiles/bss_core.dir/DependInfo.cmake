@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/capacity.cc" "src/core/CMakeFiles/bss_core.dir/capacity.cc.o" "gcc" "src/core/CMakeFiles/bss_core.dir/capacity.cc.o.d"
+  "/root/repo/src/core/composed_election.cc" "src/core/CMakeFiles/bss_core.dir/composed_election.cc.o" "gcc" "src/core/CMakeFiles/bss_core.dir/composed_election.cc.o.d"
+  "/root/repo/src/core/concurrent_election.cc" "src/core/CMakeFiles/bss_core.dir/concurrent_election.cc.o" "gcc" "src/core/CMakeFiles/bss_core.dir/concurrent_election.cc.o.d"
+  "/root/repo/src/core/election_validator.cc" "src/core/CMakeFiles/bss_core.dir/election_validator.cc.o" "gcc" "src/core/CMakeFiles/bss_core.dir/election_validator.cc.o.d"
+  "/root/repo/src/core/llsc_election.cc" "src/core/CMakeFiles/bss_core.dir/llsc_election.cc.o" "gcc" "src/core/CMakeFiles/bss_core.dir/llsc_election.cc.o.d"
+  "/root/repo/src/core/one_shot_election.cc" "src/core/CMakeFiles/bss_core.dir/one_shot_election.cc.o" "gcc" "src/core/CMakeFiles/bss_core.dir/one_shot_election.cc.o.d"
+  "/root/repo/src/core/path_math.cc" "src/core/CMakeFiles/bss_core.dir/path_math.cc.o" "gcc" "src/core/CMakeFiles/bss_core.dir/path_math.cc.o.d"
+  "/root/repo/src/core/sim_election.cc" "src/core/CMakeFiles/bss_core.dir/sim_election.cc.o" "gcc" "src/core/CMakeFiles/bss_core.dir/sim_election.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/registers/CMakeFiles/bss_registers.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bss_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

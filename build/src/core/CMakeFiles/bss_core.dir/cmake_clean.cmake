@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bss_core.dir/capacity.cc.o"
+  "CMakeFiles/bss_core.dir/capacity.cc.o.d"
+  "CMakeFiles/bss_core.dir/composed_election.cc.o"
+  "CMakeFiles/bss_core.dir/composed_election.cc.o.d"
+  "CMakeFiles/bss_core.dir/concurrent_election.cc.o"
+  "CMakeFiles/bss_core.dir/concurrent_election.cc.o.d"
+  "CMakeFiles/bss_core.dir/election_validator.cc.o"
+  "CMakeFiles/bss_core.dir/election_validator.cc.o.d"
+  "CMakeFiles/bss_core.dir/llsc_election.cc.o"
+  "CMakeFiles/bss_core.dir/llsc_election.cc.o.d"
+  "CMakeFiles/bss_core.dir/one_shot_election.cc.o"
+  "CMakeFiles/bss_core.dir/one_shot_election.cc.o.d"
+  "CMakeFiles/bss_core.dir/path_math.cc.o"
+  "CMakeFiles/bss_core.dir/path_math.cc.o.d"
+  "CMakeFiles/bss_core.dir/sim_election.cc.o"
+  "CMakeFiles/bss_core.dir/sim_election.cc.o.d"
+  "libbss_core.a"
+  "libbss_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bss_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

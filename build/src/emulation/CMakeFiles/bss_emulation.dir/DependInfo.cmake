@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emulation/board.cc" "src/emulation/CMakeFiles/bss_emulation.dir/board.cc.o" "gcc" "src/emulation/CMakeFiles/bss_emulation.dir/board.cc.o.d"
+  "/root/repo/src/emulation/driver.cc" "src/emulation/CMakeFiles/bss_emulation.dir/driver.cc.o" "gcc" "src/emulation/CMakeFiles/bss_emulation.dir/driver.cc.o.d"
+  "/root/repo/src/emulation/excess.cc" "src/emulation/CMakeFiles/bss_emulation.dir/excess.cc.o" "gcc" "src/emulation/CMakeFiles/bss_emulation.dir/excess.cc.o.d"
+  "/root/repo/src/emulation/history_tree.cc" "src/emulation/CMakeFiles/bss_emulation.dir/history_tree.cc.o" "gcc" "src/emulation/CMakeFiles/bss_emulation.dir/history_tree.cc.o.d"
+  "/root/repo/src/emulation/reduction_check.cc" "src/emulation/CMakeFiles/bss_emulation.dir/reduction_check.cc.o" "gcc" "src/emulation/CMakeFiles/bss_emulation.dir/reduction_check.cc.o.d"
+  "/root/repo/src/emulation/stable_components.cc" "src/emulation/CMakeFiles/bss_emulation.dir/stable_components.cc.o" "gcc" "src/emulation/CMakeFiles/bss_emulation.dir/stable_components.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bss_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/registers/CMakeFiles/bss_registers.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

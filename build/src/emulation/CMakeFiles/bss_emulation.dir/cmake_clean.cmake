@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bss_emulation.dir/board.cc.o"
+  "CMakeFiles/bss_emulation.dir/board.cc.o.d"
+  "CMakeFiles/bss_emulation.dir/driver.cc.o"
+  "CMakeFiles/bss_emulation.dir/driver.cc.o.d"
+  "CMakeFiles/bss_emulation.dir/excess.cc.o"
+  "CMakeFiles/bss_emulation.dir/excess.cc.o.d"
+  "CMakeFiles/bss_emulation.dir/history_tree.cc.o"
+  "CMakeFiles/bss_emulation.dir/history_tree.cc.o.d"
+  "CMakeFiles/bss_emulation.dir/reduction_check.cc.o"
+  "CMakeFiles/bss_emulation.dir/reduction_check.cc.o.d"
+  "CMakeFiles/bss_emulation.dir/stable_components.cc.o"
+  "CMakeFiles/bss_emulation.dir/stable_components.cc.o.d"
+  "libbss_emulation.a"
+  "libbss_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bss_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/game/exhaustive.cc" "src/game/CMakeFiles/bss_game.dir/exhaustive.cc.o" "gcc" "src/game/CMakeFiles/bss_game.dir/exhaustive.cc.o.d"
+  "/root/repo/src/game/game.cc" "src/game/CMakeFiles/bss_game.dir/game.cc.o" "gcc" "src/game/CMakeFiles/bss_game.dir/game.cc.o.d"
+  "/root/repo/src/game/potential.cc" "src/game/CMakeFiles/bss_game.dir/potential.cc.o" "gcc" "src/game/CMakeFiles/bss_game.dir/potential.cc.o.d"
+  "/root/repo/src/game/strategy.cc" "src/game/CMakeFiles/bss_game.dir/strategy.cc.o" "gcc" "src/game/CMakeFiles/bss_game.dir/strategy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

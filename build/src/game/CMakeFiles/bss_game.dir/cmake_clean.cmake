@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bss_game.dir/exhaustive.cc.o"
+  "CMakeFiles/bss_game.dir/exhaustive.cc.o.d"
+  "CMakeFiles/bss_game.dir/game.cc.o"
+  "CMakeFiles/bss_game.dir/game.cc.o.d"
+  "CMakeFiles/bss_game.dir/potential.cc.o"
+  "CMakeFiles/bss_game.dir/potential.cc.o.d"
+  "CMakeFiles/bss_game.dir/strategy.cc.o"
+  "CMakeFiles/bss_game.dir/strategy.cc.o.d"
+  "libbss_game.a"
+  "libbss_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bss_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbss_game.a"
+)

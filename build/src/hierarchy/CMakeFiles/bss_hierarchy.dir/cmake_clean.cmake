@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bss_hierarchy.dir/set_consensus.cc.o"
+  "CMakeFiles/bss_hierarchy.dir/set_consensus.cc.o.d"
+  "CMakeFiles/bss_hierarchy.dir/table.cc.o"
+  "CMakeFiles/bss_hierarchy.dir/table.cc.o.d"
+  "CMakeFiles/bss_hierarchy.dir/universal.cc.o"
+  "CMakeFiles/bss_hierarchy.dir/universal.cc.o.d"
+  "libbss_hierarchy.a"
+  "libbss_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bss_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

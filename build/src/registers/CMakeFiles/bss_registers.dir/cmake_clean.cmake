@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bss_registers.dir/cas_register_k.cc.o"
+  "CMakeFiles/bss_registers.dir/cas_register_k.cc.o.d"
+  "CMakeFiles/bss_registers.dir/snapshot.cc.o"
+  "CMakeFiles/bss_registers.dir/snapshot.cc.o.d"
+  "libbss_registers.a"
+  "libbss_registers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bss_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

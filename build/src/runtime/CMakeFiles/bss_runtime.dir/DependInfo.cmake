@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/crash_plan.cc" "src/runtime/CMakeFiles/bss_runtime.dir/crash_plan.cc.o" "gcc" "src/runtime/CMakeFiles/bss_runtime.dir/crash_plan.cc.o.d"
+  "/root/repo/src/runtime/linearizability.cc" "src/runtime/CMakeFiles/bss_runtime.dir/linearizability.cc.o" "gcc" "src/runtime/CMakeFiles/bss_runtime.dir/linearizability.cc.o.d"
+  "/root/repo/src/runtime/scheduler.cc" "src/runtime/CMakeFiles/bss_runtime.dir/scheduler.cc.o" "gcc" "src/runtime/CMakeFiles/bss_runtime.dir/scheduler.cc.o.d"
+  "/root/repo/src/runtime/sim_env.cc" "src/runtime/CMakeFiles/bss_runtime.dir/sim_env.cc.o" "gcc" "src/runtime/CMakeFiles/bss_runtime.dir/sim_env.cc.o.d"
+  "/root/repo/src/runtime/trace.cc" "src/runtime/CMakeFiles/bss_runtime.dir/trace.cc.o" "gcc" "src/runtime/CMakeFiles/bss_runtime.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bss_runtime.dir/crash_plan.cc.o"
+  "CMakeFiles/bss_runtime.dir/crash_plan.cc.o.d"
+  "CMakeFiles/bss_runtime.dir/linearizability.cc.o"
+  "CMakeFiles/bss_runtime.dir/linearizability.cc.o.d"
+  "CMakeFiles/bss_runtime.dir/scheduler.cc.o"
+  "CMakeFiles/bss_runtime.dir/scheduler.cc.o.d"
+  "CMakeFiles/bss_runtime.dir/sim_env.cc.o"
+  "CMakeFiles/bss_runtime.dir/sim_env.cc.o.d"
+  "CMakeFiles/bss_runtime.dir/trace.cc.o"
+  "CMakeFiles/bss_runtime.dir/trace.cc.o.d"
+  "libbss_runtime.a"
+  "libbss_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bss_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bss_util.dir/big_uint.cc.o"
+  "CMakeFiles/bss_util.dir/big_uint.cc.o.d"
+  "CMakeFiles/bss_util.dir/factoradic.cc.o"
+  "CMakeFiles/bss_util.dir/factoradic.cc.o.d"
+  "CMakeFiles/bss_util.dir/permutation.cc.o"
+  "CMakeFiles/bss_util.dir/permutation.cc.o.d"
+  "libbss_util.a"
+  "libbss_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bss_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

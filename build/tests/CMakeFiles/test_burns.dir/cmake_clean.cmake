@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_burns.dir/test_burns.cc.o"
+  "CMakeFiles/test_burns.dir/test_burns.cc.o.d"
+  "test_burns"
+  "test_burns.pdb"
+  "test_burns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_burns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

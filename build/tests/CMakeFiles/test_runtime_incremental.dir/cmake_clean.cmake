@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_incremental.dir/test_runtime_incremental.cc.o"
+  "CMakeFiles/test_runtime_incremental.dir/test_runtime_incremental.cc.o.d"
+  "test_runtime_incremental"
+  "test_runtime_incremental.pdb"
+  "test_runtime_incremental[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

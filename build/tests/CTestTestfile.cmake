@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_registers[1]_include.cmake")
+include("/root/repo/build/tests/test_election[1]_include.cmake")
+include("/root/repo/build/tests/test_game[1]_include.cmake")
+include("/root/repo/build/tests/test_checker[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_burns[1]_include.cmake")
+include("/root/repo/build/tests/test_emulation[1]_include.cmake")
+include("/root/repo/build/tests/test_linearizability[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_incremental[1]_include.cmake")
