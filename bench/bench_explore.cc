@@ -1,0 +1,88 @@
+// bench_explore — throughput and pruning-ratio table for the schedule
+// explorer (DESIGN.md "Schedule exploration").
+//
+// For each system we explore the schedule space twice — naive DFS and
+// sleep-set POR — and report complete schedules, granted transitions,
+// states/sec, and the POR pruning ratio (fraction of naive schedules the
+// sleep sets never had to run).  The LL/SC rows also show Chess-style
+// iterative preemption bounding at small budgets.
+#include <chrono>
+#include <cstdio>
+
+#include "explore/election_systems.h"
+#include "explore/explore.h"
+
+namespace {
+
+using bss::explore::ExplorableSystem;
+using bss::explore::ExploreOptions;
+using bss::explore::ExploreResult;
+
+struct Row {
+  ExploreResult result;
+  double seconds = 0;
+};
+
+Row timed_explore(const ExplorableSystem& system,
+                  const ExploreOptions& options) {
+  Row row;
+  const auto start = std::chrono::steady_clock::now();
+  row.result = bss::explore::explore(system, options);
+  row.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  return row;
+}
+
+void print_row(const char* label, const Row& row) {
+  const auto& stats = row.result.stats;
+  const double rate =
+      row.seconds > 0 ? static_cast<double>(stats.schedules) / row.seconds : 0;
+  std::printf("%-28s %9llu %11llu %10.0f %9llu %9llu %s\n", label,
+              static_cast<unsigned long long>(stats.schedules),
+              static_cast<unsigned long long>(stats.transitions), rate,
+              static_cast<unsigned long long>(stats.sleep_set_prunes),
+              static_cast<unsigned long long>(stats.preemption_prunes),
+              row.result.exhausted ? "exhaustive" : "bounded");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%-28s %9s %11s %10s %9s %9s %s\n", "system", "schedules",
+              "transitions", "sched/s", "slp-prune", "pre-prune", "coverage");
+
+  {
+    bss::explore::OneShotSystem system(4, 3);
+    ExploreOptions naive;
+    naive.use_por = false;
+    const Row naive_row = timed_explore(system, naive);
+    print_row("one_shot[n=3] naive", naive_row);
+    const Row por_row = timed_explore(system, {});
+    print_row("one_shot[n=3] POR", por_row);
+    const double ratio =
+        1.0 - static_cast<double>(por_row.result.stats.schedules) /
+                  static_cast<double>(naive_row.result.stats.schedules);
+    std::printf("  POR pruning ratio: %.1f%% (%llu -> %llu schedules)\n",
+                100.0 * ratio,
+                static_cast<unsigned long long>(
+                    naive_row.result.stats.schedules),
+                static_cast<unsigned long long>(
+                    por_row.result.stats.schedules));
+  }
+
+  {
+    bss::explore::LlScSystem system(3, 2);
+    const Row por_row = timed_explore(system, {});
+    print_row("llsc[k=3,n=2] POR", por_row);
+    for (int bound = 0; bound <= 2; ++bound) {
+      ExploreOptions options;
+      options.preemption_bound = bound;
+      char label[64];
+      std::snprintf(label, sizeof label, "llsc[k=3,n=2] POR b=%d", bound);
+      print_row(label, timed_explore(system, options));
+    }
+  }
+
+  return 0;
+}

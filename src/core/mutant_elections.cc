@@ -1,0 +1,64 @@
+#include "core/mutant_elections.h"
+
+namespace bss::core {
+
+std::string to_string(OneShotMutant mutant) {
+  switch (mutant) {
+    case OneShotMutant::kNone:
+      return "none";
+    case OneShotMutant::kClaimAfterCas:
+      return "claim-after-cas";
+    case OneShotMutant::kSplitCas:
+      return "split-cas";
+  }
+  return "?";
+}
+
+MutantOneShotState::MutantOneShotState(int k)
+    : cas("cas", k), weak("weak-cas", sim::CasRegisterK::kBottom) {
+  claim.reserve(static_cast<std::size_t>(k));
+  for (int symbol = 0; symbol < k; ++symbol) {
+    claim.emplace_back("claim[" + std::to_string(symbol) + "]",
+                       sim::SwmrRegister<std::int64_t>::kAnyWriter,
+                       std::int64_t{-1});
+  }
+}
+
+std::int64_t one_shot_elect_mutant(MutantOneShotState& state, sim::Ctx& ctx,
+                                   int pid, std::int64_t id,
+                                   OneShotMutant mutant) {
+  const int k = state.cas.k();
+  expects(pid >= 0 && pid < k - 1, "one-shot election capacity is k-1");
+  const int my_symbol = pid + 1;
+  auto& my_claim = state.claim[static_cast<std::size_t>(my_symbol)];
+
+  if (mutant != OneShotMutant::kClaimAfterCas) my_claim.write(ctx, id);
+
+  int prev;
+  if (mutant == OneShotMutant::kSplitCas) {
+    // BUG: check-then-act on a plain register.  Between the read and the
+    // write another process can slip its own read in; both then see ⊥ and
+    // both install, so two processes crown themselves.
+    prev = state.weak.read(ctx);
+    if (prev == sim::CasRegisterK::kBottom) state.weak.write(ctx, my_symbol);
+  } else {
+    prev = state.cas.compare_and_swap(ctx, sim::CasRegisterK::kBottom,
+                                      my_symbol);
+  }
+
+  if (mutant == OneShotMutant::kClaimAfterCas) my_claim.write(ctx, id);
+
+  const int winner_symbol =
+      prev == sim::CasRegisterK::kBottom ? my_symbol : prev;
+  const std::int64_t winner =
+      state.claim[static_cast<std::size_t>(winner_symbol)].read(ctx);
+  if (winner < 0) {
+    // Only reachable under kClaimAfterCas: the winner raced us to the c&s
+    // but has not written its claim yet.  The mutant's "recovery" is to
+    // assume we won — the interleaving-dependent consistency bug.
+    return id;
+  }
+  return winner;
+}
+
+}  // namespace bss::core

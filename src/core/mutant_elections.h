@@ -1,0 +1,96 @@
+// Deliberately-buggy election variants ("mutants") for the schedule-space
+// explorer (src/explore).
+//
+// Each mutant is a real concurrency bug: it is *correct on most schedules*
+// and wrong only under a specific interleaving, so a scheduler that merely
+// samples the schedule space can miss it forever.  The explorer's job is to
+// refute every one of them with a minimized, replayable counterexample;
+// tests/test_explore.cc asserts that it does.  None of these are reachable
+// from the production election entry points.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "registers/cas_register_k.h"
+#include "registers/ll_sc.h"
+#include "registers/mwmr_register.h"
+#include "registers/swmr_register.h"
+#include "runtime/sim_env.h"
+#include "util/checked.h"
+
+namespace bss::core {
+
+enum class OneShotMutant {
+  kNone,          ///< the correct algorithm (control)
+  kClaimAfterCas, ///< claim register written AFTER racing: a loser can read
+                  ///< the winner's claim before the winner wrote it and,
+                  ///< seeing nothing, crowns itself
+  kSplitCas,      ///< the c&s replaced by a read-then-write on a plain MWMR
+                  ///< register: two processes can both observe ⊥ and both
+                  ///< "win" (classic check-then-act race)
+};
+
+std::string to_string(OneShotMutant mutant);
+
+/// Shared memory for the mutated one-shot election.  Carries both the real
+/// compare&swap-(k) and the plain register the kSplitCas mutant races on, so
+/// every mutant runs against the same state shape.
+struct MutantOneShotState {
+  explicit MutantOneShotState(int k);
+
+  sim::CasRegisterK cas;
+  sim::MwmrRegister<int> weak;  ///< kSplitCas's stand-in for the c&s
+  std::vector<sim::SwmrRegister<std::int64_t>> claim;
+};
+
+/// One-shot election body with the selected bug injected.  With
+/// OneShotMutant::kNone this is behaviourally identical to one_shot_elect.
+std::int64_t one_shot_elect_mutant(MutantOneShotState& state, sim::Ctx& ctx,
+                                   int pid, std::int64_t id,
+                                   OneShotMutant mutant);
+
+/// LL/SC c&s adapter that IGNORES store-conditional failure: the process
+/// believes it installed its symbol although the register never changed.
+/// Harmless while SCs never interleave; wrong exactly when another SC lands
+/// between this process's LL and SC — an interleaving-dependent bug for the
+/// FirstValueTree election (see explore::LlScSystem).
+class ScBlindLlScMemory {
+ public:
+  ScBlindLlScMemory(sim::LlScRegisterK& llsc,
+                    std::vector<sim::MwmrRegister<int>>& confirm,
+                    std::vector<sim::SwmrRegister<std::int64_t>>& announce,
+                    sim::Ctx& ctx)
+      : llsc_(&llsc), confirm_(&confirm), announce_(&announce), ctx_(&ctx) {}
+
+  int k() const { return llsc_->k(); }
+
+  int cas(int expect, int next) {
+    const int value = llsc_->load_link(*ctx_);
+    if (value != expect) return value;
+    (void)llsc_->store_conditional(*ctx_, next);  // BUG: result ignored
+    return expect;
+  }
+
+  int read_confirm(int stage) const {
+    return (*confirm_)[static_cast<std::size_t>(stage)].read(*ctx_);
+  }
+  void write_confirm(int stage, int symbol) {
+    (*confirm_)[static_cast<std::size_t>(stage)].write(*ctx_, symbol);
+  }
+  std::int64_t read_announce(std::uint64_t slot) const {
+    return (*announce_)[static_cast<std::size_t>(slot)].read(*ctx_);
+  }
+  void write_announce(std::uint64_t slot, std::int64_t id) {
+    (*announce_)[static_cast<std::size_t>(slot)].write(*ctx_, id);
+  }
+
+ private:
+  sim::LlScRegisterK* llsc_;
+  std::vector<sim::MwmrRegister<int>>* confirm_;
+  std::vector<sim::SwmrRegister<std::int64_t>>* announce_;
+  sim::Ctx* ctx_;
+};
+
+}  // namespace bss::core

@@ -1,0 +1,211 @@
+#include "explore/election_systems.h"
+
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "core/election_validator.h"
+#include "core/first_value_tree.h"
+#include "core/llsc_election.h"
+#include "core/sim_election.h"
+#include "util/checked.h"
+
+namespace bss::explore {
+
+namespace {
+
+constexpr std::int64_t kIdBase = 1000;
+
+/// Shared post-run checks: every process finished without throwing, all
+/// deciders agree, and the winner was actually proposed.
+std::optional<std::string> check_outcomes(
+    const sim::RunReport& report, const std::vector<std::int64_t>& elected,
+    int n) {
+  for (int pid = 0; pid < n; ++pid) {
+    const auto outcome = report.outcomes[static_cast<std::size_t>(pid)];
+    if (outcome == sim::ProcOutcome::kFailed) {
+      return "p" + std::to_string(pid) +
+             " failed: " + report.errors[static_cast<std::size_t>(pid)];
+    }
+    if (outcome != sim::ProcOutcome::kFinished) {
+      return "p" + std::to_string(pid) + " never finished";
+    }
+  }
+  std::int64_t leader = -1;
+  for (int pid = 0; pid < n; ++pid) {
+    const std::int64_t mine = elected[static_cast<std::size_t>(pid)];
+    if (leader == -1) leader = mine;
+    if (mine != leader) {
+      std::ostringstream out;
+      out << "inconsistent: p" << pid << " elected " << mine
+          << " but an earlier process elected " << leader;
+      return out.str();
+    }
+  }
+  if (leader < kIdBase || leader >= kIdBase + n) {
+    std::ostringstream out;
+    out << "invalid: elected id " << leader << " was never proposed";
+    return out.str();
+  }
+  return std::nullopt;
+}
+
+class OneShotInstance final : public SystemInstance {
+ public:
+  OneShotInstance(int k, int n, core::OneShotMutant mutant)
+      : state_(k), n_(n), mutant_(mutant),
+        elected_(static_cast<std::size_t>(n), -1) {}
+
+  void populate(sim::SimEnv& env) override {
+    for (int pid = 0; pid < n_; ++pid) {
+      env.add_process([this, pid](sim::Ctx& ctx) {
+        elected_[static_cast<std::size_t>(pid)] = core::one_shot_elect_mutant(
+            state_, ctx, pid, kIdBase + pid, mutant_);
+      });
+    }
+  }
+
+  std::optional<std::string> check(const sim::SimEnv&,
+                                   const sim::RunReport& report) override {
+    return check_outcomes(report, elected_, n_);
+  }
+
+ private:
+  core::MutantOneShotState state_;
+  int n_;
+  core::OneShotMutant mutant_;
+  std::vector<std::int64_t> elected_;
+};
+
+class LlScInstance final : public SystemInstance {
+ public:
+  LlScInstance(int k, int n, bool sc_blind)
+      : state_(k), n_(n), sc_blind_(sc_blind),
+        elected_(static_cast<std::size_t>(n), -1) {}
+
+  void populate(sim::SimEnv& env) override {
+    for (int pid = 0; pid < n_; ++pid) {
+      env.add_process([this, pid](sim::Ctx& ctx) {
+        const auto slot = static_cast<std::uint64_t>(pid);
+        core::ElectOutcome outcome;
+        if (sc_blind_) {
+          core::ScBlindLlScMemory memory(state_.llsc, state_.confirm,
+                                         state_.announce, ctx);
+          outcome = core::fvt_elect(memory, slot, kIdBase + pid);
+        } else {
+          core::LlScElectionMemory memory(state_, ctx);
+          outcome = core::fvt_elect(memory, slot, kIdBase + pid);
+        }
+        elected_[static_cast<std::size_t>(pid)] = outcome.leader;
+      });
+    }
+  }
+
+  std::optional<std::string> check(const sim::SimEnv&,
+                                   const sim::RunReport& report) override {
+    return check_outcomes(report, elected_, n_);
+  }
+
+ private:
+  core::LlScElectionState state_;
+  int n_;
+  bool sc_blind_;
+  std::vector<std::int64_t> elected_;
+};
+
+class FvtInstance final : public SystemInstance {
+ public:
+  FvtInstance(int k, int n)
+      : state_(k), k_(k), n_(n), outcomes_(static_cast<std::size_t>(n)) {}
+
+  void populate(sim::SimEnv& env) override {
+    for (int pid = 0; pid < n_; ++pid) {
+      env.add_process([this, pid](sim::Ctx& ctx) {
+        core::SimElectionMemory memory(state_, ctx);
+        outcomes_[static_cast<std::size_t>(pid)] = core::fvt_elect(
+            memory, static_cast<std::uint64_t>(pid), kIdBase + pid);
+      });
+    }
+  }
+
+  std::optional<std::string> check(const sim::SimEnv&,
+                                   const sim::RunReport& report) override {
+    for (int pid = 0; pid < n_; ++pid) {
+      if (report.outcomes[static_cast<std::size_t>(pid)] ==
+          sim::ProcOutcome::kFailed) {
+        return "p" + std::to_string(pid) +
+               " failed: " + report.errors[static_cast<std::size_t>(pid)];
+      }
+    }
+    core::SimElectionReport election;
+    election.k = k_;
+    election.processes = n_;
+    election.id_base = kIdBase;
+    election.run = report;
+    election.outcomes = outcomes_;
+    election.cas_history = state_.cas.history();
+    election.cas_total_accesses = state_.cas.total_accesses();
+    for (int pid = 0; pid < n_; ++pid) {
+      if (report.outcomes[static_cast<std::size_t>(pid)] !=
+          sim::ProcOutcome::kFinished) {
+        election.outcomes[static_cast<std::size_t>(pid)].reset();
+      }
+    }
+    const core::ElectionVerdict verdict = core::verify_election(election);
+    if (!verdict.ok()) return verdict.diagnosis;
+    return std::nullopt;
+  }
+
+ private:
+  core::SimElectionState state_;
+  int k_;
+  int n_;
+  std::vector<std::optional<core::ElectOutcome>> outcomes_;
+};
+
+}  // namespace
+
+OneShotSystem::OneShotSystem(int k, int n, core::OneShotMutant mutant)
+    : k_(k), n_(n), mutant_(mutant) {
+  expects(n >= 1 && n <= k - 1, "one-shot election requires 1 <= n <= k-1");
+}
+
+std::string OneShotSystem::name() const {
+  return "one_shot[k=" + std::to_string(k_) + ",n=" + std::to_string(n_) +
+         ",mutant=" + core::to_string(mutant_) + "]";
+}
+
+std::unique_ptr<SystemInstance> OneShotSystem::make() const {
+  return std::make_unique<OneShotInstance>(k_, n_, mutant_);
+}
+
+LlScSystem::LlScSystem(int k, int n, bool sc_blind)
+    : k_(k), n_(n), sc_blind_(sc_blind) {
+  expects(n >= 1 && static_cast<std::uint64_t>(n) <= core::slot_count(k),
+          "LL/SC election capacity is (k-1)!");
+}
+
+std::string LlScSystem::name() const {
+  return std::string("llsc[k=") + std::to_string(k_) +
+         ",n=" + std::to_string(n_) +
+         (sc_blind_ ? ",mutant=sc-blind]" : "]");
+}
+
+std::unique_ptr<SystemInstance> LlScSystem::make() const {
+  return std::make_unique<LlScInstance>(k_, n_, sc_blind_);
+}
+
+FvtSystem::FvtSystem(int k, int n) : k_(k), n_(n) {
+  expects(n >= 1 && static_cast<std::uint64_t>(n) <= core::slot_count(k),
+          "FirstValueTree capacity is (k-1)!");
+}
+
+std::string FvtSystem::name() const {
+  return "fvt[k=" + std::to_string(k_) + ",n=" + std::to_string(n_) + "]";
+}
+
+std::unique_ptr<SystemInstance> FvtSystem::make() const {
+  return std::make_unique<FvtInstance>(k_, n_);
+}
+
+}  // namespace bss::explore

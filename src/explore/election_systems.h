@@ -1,0 +1,67 @@
+// Elections as explorable systems: adapters binding the repository's
+// election algorithms (and their deliberately-buggy mutants) to the
+// ExplorableSystem interface, so the schedule explorer can quantify over
+// every interleaving instead of the five hand-written adversaries.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/mutant_elections.h"
+#include "explore/system.h"
+
+namespace bss::explore {
+
+/// One-shot election (core/one_shot_election.h), optionally mutated
+/// (core/mutant_elections.h).  Property: every process finishes cleanly,
+/// all elect the same identity, and that identity was proposed.
+class OneShotSystem final : public ExplorableSystem {
+ public:
+  OneShotSystem(int k, int n,
+                core::OneShotMutant mutant = core::OneShotMutant::kNone);
+
+  std::string name() const override;
+  int process_count() const override { return n_; }
+  std::unique_ptr<SystemInstance> make() const override;
+
+ private:
+  int k_;
+  int n_;
+  core::OneShotMutant mutant_;
+};
+
+/// FirstValueTree election on the LL/SC register
+/// (core/llsc_election.h), optionally with the SC-failure-ignored mutant.
+/// Property: clean finish, consistency, validity.
+class LlScSystem final : public ExplorableSystem {
+ public:
+  LlScSystem(int k, int n, bool sc_blind = false);
+
+  std::string name() const override;
+  int process_count() const override { return n_; }
+  std::unique_ptr<SystemInstance> make() const override;
+
+ private:
+  int k_;
+  int n_;
+  bool sc_blind_;
+};
+
+/// Full FirstValueTree election over the compare&swap-(k)
+/// (core/sim_election.h), checked with the paper-grade validator
+/// (core/election_validator.h): consistency, validity, bounded
+/// wait-freedom, label soundness.
+class FvtSystem final : public ExplorableSystem {
+ public:
+  FvtSystem(int k, int n);
+
+  std::string name() const override;
+  int process_count() const override { return n_; }
+  std::unique_ptr<SystemInstance> make() const override;
+
+ private:
+  int k_;
+  int n_;
+};
+
+}  // namespace bss::explore

@@ -1,0 +1,476 @@
+#include "explore/explore.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "runtime/scheduler.h"
+#include "util/checked.h"
+
+namespace bss::explore {
+
+bool ops_commute(const sim::OpDesc& a, const sim::OpDesc& b) {
+  if (a.object != b.object) return true;
+  // Anything that is not a plain read (write, cas, ll, sc, …) may change the
+  // object or its hidden state (LL links), so it conflicts with every other
+  // access to the same object.
+  return a.op == "read" && b.op == "read";
+}
+
+namespace {
+
+/// One node of the DFS tree: the scheduling state after `index` decisions.
+struct Frame {
+  std::vector<int> runnable;           ///< ascending pids runnable here
+  std::vector<sim::OpDesc> pending;    ///< by pid; valid for runnable pids
+  std::vector<int> entry_sleep;        ///< sleeping pids on entry (sorted)
+  std::vector<int> done;               ///< sibling choices already explored
+  int chosen = -1;                     ///< choice taken on the current path
+  int preemptions_before = 0;          ///< preemptions in decisions 0..index-1
+};
+
+/// Thrown out of the scheduler when every choice at a fresh node is pruned;
+/// unwinds env.run(), whose destructor reaps the parked process threads.
+struct BranchPruned {
+  bool by_budget = false;
+};
+
+bool contains(const std::vector<int>& pids, int pid) {
+  return std::find(pids.begin(), pids.end(), pid) != pids.end();
+}
+
+struct PassState {
+  std::vector<Frame> frames;
+  int budget = -1;          ///< preemption budget; -1 = unbounded
+  bool use_por = true;
+  bool budget_limited = false;  ///< some branch was cut by the budget
+};
+
+/// Scheduling a choice away from the previous (still-runnable) process costs
+/// one preemption.
+int choice_cost(const Frame& frame, int prev_pid, int choice) {
+  if (prev_pid < 0 || choice == prev_pid) return 0;
+  return contains(frame.runnable, prev_pid) ? 1 : 0;
+}
+
+/// First unexplored, unslept, budget-feasible choice at `frame`; prefers
+/// continuing `prev_pid` (free), then ascending pid order.  -1 if none.
+int select_choice(const Frame& frame, int prev_pid, const PassState& pass) {
+  std::vector<int> order;
+  order.reserve(frame.runnable.size());
+  if (prev_pid >= 0 && contains(frame.runnable, prev_pid)) {
+    order.push_back(prev_pid);
+  }
+  for (const int pid : frame.runnable) {
+    if (pid != prev_pid) order.push_back(pid);
+  }
+  for (const int pid : order) {
+    if (contains(frame.done, pid)) continue;
+    if (pass.use_por && contains(frame.entry_sleep, pid)) continue;
+    if (pass.budget >= 0 &&
+        frame.preemptions_before + choice_cost(frame, prev_pid, pid) >
+            pass.budget) {
+      continue;
+    }
+    return pid;
+  }
+  return -1;
+}
+
+/// The exploration adversary: replays the fixed prefix recorded in
+/// pass->frames, then extends the frontier one node per step, applying the
+/// sleep-set and preemption filters.
+class DfsScheduler final : public sim::Scheduler {
+ public:
+  DfsScheduler(PassState* pass, ExploreStats* stats)
+      : pass_(pass), stats_(stats) {}
+
+  std::string name() const override { return "dfs-explore"; }
+
+  int pick(const sim::SchedView& view) override {
+    ++stats_->transitions;
+    auto& frames = pass_->frames;
+
+    if (step_ < frames.size()) {
+      // Prefix replay: the factory is deterministic, so the runnable set
+      // must match what the previous run recorded here.
+      Frame& frame = frames[step_];
+      if (!std::equal(frame.runnable.begin(), frame.runnable.end(),
+                      view.runnable.begin(), view.runnable.end())) {
+        throw std::logic_error(
+            "schedule exploration diverged on prefix replay: the system "
+            "factory is nondeterministic");
+      }
+      ++step_;
+      return frame.chosen;
+    }
+
+    // Frontier: materialize a new node.
+    Frame frame;
+    frame.runnable.assign(view.runnable.begin(), view.runnable.end());
+    frame.pending.resize(view.processes.size());
+    for (const int pid : frame.runnable) {
+      frame.pending[static_cast<std::size_t>(pid)] =
+          view.processes[static_cast<std::size_t>(pid)].pending;
+    }
+    const int prev_pid = step_ > 0 ? frames[step_ - 1].chosen : -1;
+    if (step_ > 0) {
+      const Frame& parent = frames[step_ - 1];
+      frame.preemptions_before =
+          parent.preemptions_before +
+          choice_cost(parent, step_ > 1 ? frames[step_ - 2].chosen : -1,
+                      parent.chosen);
+      if (pass_->use_por) {
+        // Sleep-set propagation: everything asleep at the parent (inherited
+        // or explored there) stays asleep iff it commutes with the operation
+        // the parent's choice just performed.
+        const auto& parent_op =
+            parent.pending[static_cast<std::size_t>(parent.chosen)];
+        const auto inherit = [&](int pid) {
+          if (pid == parent.chosen) return;
+          if (ops_commute(parent.pending[static_cast<std::size_t>(pid)],
+                          parent_op)) {
+            frame.entry_sleep.push_back(pid);
+          }
+        };
+        for (const int pid : parent.entry_sleep) inherit(pid);
+        for (const int pid : parent.done) inherit(pid);
+        std::sort(frame.entry_sleep.begin(), frame.entry_sleep.end());
+      }
+    }
+
+    // Account the branches the filters cut at this node (both filters are
+    // functions of the frame alone, so counting once at creation is exact).
+    bool budget_cut_here = false;
+    for (const int pid : frame.runnable) {
+      if (pass_->use_por && contains(frame.entry_sleep, pid)) {
+        ++stats_->sleep_set_prunes;
+        continue;
+      }
+      if (pass_->budget >= 0 &&
+          frame.preemptions_before + choice_cost(frame, prev_pid, pid) >
+              pass_->budget) {
+        ++stats_->preemption_prunes;
+        pass_->budget_limited = true;
+        budget_cut_here = true;
+      }
+    }
+
+    const int choice = select_choice(frame, prev_pid, *pass_);
+    if (choice < 0) throw BranchPruned{budget_cut_here};
+    frame.chosen = choice;
+    frames.push_back(std::move(frame));
+    ++step_;
+    return choice;
+  }
+
+ private:
+  PassState* pass_;
+  ExploreStats* stats_;
+  std::size_t step_ = 0;
+};
+
+/// Backtracks to the deepest node with an unexplored sibling; returns false
+/// when the whole space (at this budget) is done.
+bool advance(PassState& pass) {
+  auto& frames = pass.frames;
+  while (!frames.empty()) {
+    Frame& frame = frames.back();
+    frame.done.push_back(frame.chosen);
+    frame.chosen = -1;
+    const int prev_pid =
+        frames.size() > 1 ? frames[frames.size() - 2].chosen : -1;
+    const int next = select_choice(frame, prev_pid, pass);
+    if (next >= 0) {
+      frame.chosen = next;
+      return true;
+    }
+    frames.pop_back();
+  }
+  return false;
+}
+
+struct RunOutcome {
+  bool pruned = false;
+  bool truncated = false;
+  std::optional<std::string> violation;
+  std::vector<int> decisions;
+};
+
+RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
+                   PassState& pass, ExploreStats& stats) {
+  RunOutcome outcome;
+  auto instance = system.make();
+  sim::SimOptions sim_options;
+  sim_options.step_limit = opts.max_depth;
+  sim_options.record_trace = opts.record_trace;
+  sim::SimEnv env(sim_options);
+  instance->populate(env);
+  DfsScheduler scheduler(&pass, &stats);
+  sim::RunReport report;
+  try {
+    report = env.run(scheduler);
+  } catch (const BranchPruned&) {
+    outcome.pruned = true;  // prune kind was accounted inside pick()
+    return outcome;
+  }
+  ++stats.schedules;
+  stats.max_depth_seen = std::max(stats.max_depth_seen, report.total_steps);
+  if (report.step_limit_hit) {
+    ++stats.truncated;
+    outcome.truncated = true;
+    return outcome;
+  }
+  outcome.violation = instance->check(env, report);
+  if (outcome.violation.has_value()) outcome.decisions = env.decisions();
+  return outcome;
+}
+
+/// Replays `tape` (with round-robin completion past its end) and re-checks.
+struct AttemptResult {
+  bool reproduced = false;
+  std::string violation;
+  std::vector<int> canonical;
+  std::uint64_t divergences = 0;
+};
+
+AttemptResult attempt_tape(const ExplorableSystem& system,
+                           const ExploreOptions& opts,
+                           const std::vector<int>& tape) {
+  AttemptResult result;
+  auto instance = system.make();
+  sim::SimOptions sim_options;
+  sim_options.step_limit = opts.max_depth;
+  sim_options.record_trace = true;  // checks may read the trace on replay
+  sim::SimEnv env(sim_options);
+  instance->populate(env);
+  sim::ReplayScheduler scheduler(tape);
+  const sim::RunReport report = env.run(scheduler);
+  result.divergences = scheduler.divergences();
+  if (report.step_limit_hit) return result;
+  const auto violation = instance->check(env, report);
+  if (!violation.has_value()) return result;
+  result.reproduced = true;
+  result.violation = *violation;
+  result.canonical = env.decisions();
+  return result;
+}
+
+}  // namespace
+
+Counterexample minimize_counterexample(const ExplorableSystem& system,
+                                       Counterexample cex,
+                                       const ExploreOptions& options,
+                                       ExploreStats* stats) {
+  const auto count_run = [&] {
+    if (stats != nullptr) ++stats->shrink_runs;
+  };
+  // Canonicalize up front and keep `best` canonical throughout: always the
+  // *complete* decision sequence of a violating run, so ReplayScheduler
+  // re-executes the result verbatim — zero divergences, no silent fallback.
+  count_run();
+  AttemptResult current = attempt_tape(system, options, cex.decisions);
+  expects(current.reproduced,
+          "counterexample does not reproduce before minimization "
+          "(nondeterministic system factory?)");
+  std::vector<int> best = std::move(current.canonical);
+  std::string violation = std::move(current.violation);
+  cex.shrunk_from = std::max(cex.decisions.size(), best.size());
+
+  // Greedy ddmin-style chunk deletion: drop spans of halving size wherever
+  // the violation still reproduces.  The fallback completes a truncated
+  // candidate along a possibly *longer* schedule (LL/SC retry loops make
+  // step counts schedule-dependent), so a deletion is accepted only when
+  // its canonical tape is a strict length win.
+  for (std::size_t chunk = std::max<std::size_t>(best.size() / 2, 1);;
+       chunk /= 2) {
+    std::size_t start = 0;
+    while (start < best.size()) {
+      const std::size_t len = std::min(chunk, best.size() - start);
+      std::vector<int> candidate;
+      candidate.reserve(best.size() - len);
+      candidate.insert(candidate.end(), best.begin(),
+                       best.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(candidate.end(),
+                       best.begin() + static_cast<std::ptrdiff_t>(start + len),
+                       best.end());
+      count_run();
+      AttemptResult attempt = attempt_tape(system, options, candidate);
+      if (attempt.reproduced && attempt.canonical.size() < best.size()) {
+        best = std::move(attempt.canonical);
+        violation = std::move(attempt.violation);
+        // retry the same start position against the new, shorter tape
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1) break;
+  }
+
+  cex.decisions = std::move(best);
+  cex.violation = std::move(violation);
+  return cex;
+}
+
+ReplayOutcome replay_counterexample(const ExplorableSystem& system,
+                                    const Counterexample& cex,
+                                    const ExploreOptions& options) {
+  ReplayOutcome outcome;
+  auto instance = system.make();
+  sim::SimOptions sim_options;
+  sim_options.step_limit = options.max_depth;
+  sim_options.record_trace = true;
+  sim::SimEnv env(sim_options);
+  instance->populate(env);
+  sim::ReplayScheduler scheduler(cex.decisions);
+  outcome.report = env.run(scheduler);
+  outcome.divergences = scheduler.divergences();
+  outcome.truncated = outcome.report.step_limit_hit;
+  if (!outcome.truncated) {
+    const auto violation = instance->check(env, outcome.report);
+    if (violation.has_value()) {
+      outcome.violated = true;
+      outcome.violation = *violation;
+    }
+  }
+  return outcome;
+}
+
+ExploreResult explore(const ExplorableSystem& system,
+                      const ExploreOptions& options) {
+  ExploreResult result;
+
+  // Chess-style iterative bounding: sweep small budgets first so the
+  // simplest refutation surfaces; a budget that cut nothing covered the
+  // whole space, making larger budgets redundant.
+  std::vector<int> budgets;
+  if (options.preemption_bound >= 0 && options.iterative) {
+    for (int b = 0; b <= options.preemption_bound; ++b) budgets.push_back(b);
+  } else {
+    budgets.push_back(options.preemption_bound);
+  }
+
+  bool cap_hit = false;
+  bool stopped = false;
+  bool last_pass_budget_limited = false;
+  for (const int budget : budgets) {
+    PassState pass;
+    pass.budget = budget;
+    pass.use_por = options.use_por;
+    for (;;) {
+      if (result.stats.schedules >= options.max_schedules) {
+        cap_hit = true;
+        break;
+      }
+      const RunOutcome outcome = run_one(system, options, pass, result.stats);
+      if (outcome.violation.has_value()) {
+        Counterexample cex;
+        cex.system = system.name();
+        cex.processes = system.process_count();
+        cex.violation = *outcome.violation;
+        cex.decisions = outcome.decisions;
+        cex.shrunk_from = outcome.decisions.size();
+        if (options.minimize) {
+          cex = minimize_counterexample(system, std::move(cex), options,
+                                        &result.stats);
+        }
+        result.violations.push_back(std::move(cex));
+        if (options.stop_at_first_violation ||
+            result.violations.size() >= options.max_violations) {
+          stopped = true;
+          break;
+        }
+      }
+      if (!advance(pass)) break;
+    }
+    last_pass_budget_limited = pass.budget_limited;
+    if (cap_hit || stopped) break;
+    if (!pass.budget_limited) break;  // space fully covered at this budget
+  }
+
+  result.exhausted = !cap_hit && !stopped && !last_pass_budget_limited &&
+                     result.stats.truncated == 0;
+  return result;
+}
+
+// ---------------------------------------------------------------- reporting
+
+std::string ExploreStats::summary() const {
+  std::ostringstream out;
+  out << "schedules=" << schedules << " transitions=" << transitions
+      << " sleep-prunes=" << sleep_set_prunes
+      << " preemption-prunes=" << preemption_prunes
+      << " truncated=" << truncated << " max-depth=" << max_depth_seen
+      << " shrink-runs=" << shrink_runs;
+  return out.str();
+}
+
+std::string ExploreResult::summary() const {
+  std::ostringstream out;
+  out << stats.summary() << (exhausted ? " [exhaustive]" : " [bounded]");
+  if (violations.empty()) {
+    out << " no violations";
+  } else {
+    for (const auto& cex : violations) {
+      out << "\n  VIOLATION (" << cex.decisions.size() << " decisions, from "
+          << cex.shrunk_from << "): " << cex.violation;
+    }
+  }
+  return out.str();
+}
+
+// ----------------------------------------------------------------- artifact
+
+std::string Counterexample::to_artifact() const {
+  std::ostringstream out;
+  std::string flat = violation;
+  std::replace(flat.begin(), flat.end(), '\n', ' ');
+  out << "bss-counterexample v1\n";
+  out << "system: " << system << "\n";
+  out << "processes: " << processes << "\n";
+  out << "shrunk-from: " << shrunk_from << "\n";
+  out << "violation: " << flat << "\n";
+  out << "decisions:";
+  for (const int pid : decisions) out << ' ' << pid;
+  out << "\n";
+  return out.str();
+}
+
+std::optional<Counterexample> Counterexample::from_artifact(
+    const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "bss-counterexample v1") {
+    return std::nullopt;
+  }
+  Counterexample cex;
+  bool saw_decisions = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) return std::nullopt;
+    const std::string key = line.substr(0, colon);
+    std::string value = line.substr(colon + 1);
+    if (!value.empty() && value.front() == ' ') value.erase(0, 1);
+    if (key == "system") {
+      cex.system = value;
+    } else if (key == "processes") {
+      cex.processes = std::stoi(value);
+    } else if (key == "shrunk-from") {
+      cex.shrunk_from = static_cast<std::size_t>(std::stoull(value));
+    } else if (key == "violation") {
+      cex.violation = value;
+    } else if (key == "decisions") {
+      std::istringstream pids(value);
+      int pid = 0;
+      while (pids >> pid) cex.decisions.push_back(pid);
+      saw_decisions = true;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!saw_decisions) return std::nullopt;
+  return cex;
+}
+
+}  // namespace bss::explore

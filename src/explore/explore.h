@@ -1,0 +1,140 @@
+// Systematic schedule-space exploration over SimEnv.
+//
+// The simulator executes a system as a pure function of the scheduler's
+// decision sequence, which is exactly the hook a stateless model checker
+// needs: this module re-runs a system factory under every decision sequence
+// (depth-first, re-executing the deterministic prefix each time) and checks
+// a property after every complete run.  Three levers bound the search:
+//
+//  * Depth bound — schedules longer than `max_depth` steps are truncated
+//    (the run is killed at the bound, counted, and not property-checked).
+//
+//  * Preemption bound (Chess-style, Musuvathi & Qadeer) — a *preemption* is
+//    scheduling away from a process that is still runnable.  Most
+//    concurrency bugs need only a handful, so bounding them makes even big
+//    systems tractable; `iterative = true` sweeps budgets 0, 1, …, bound,
+//    surfacing the simplest buggy schedule first.
+//
+//  * Sleep-set partial-order reduction (Godefroid) — two pending operations
+//    commute unless they touch the same object and at least one writes (the
+//    OpDesc footprint rule).  After a branch is explored, its choice goes to
+//    sleep for the sibling branches and stays asleep while every executed
+//    operation commutes with it; exploring a sleeping process would only
+//    re-reach a state some explored interleaving already covered.  Sound for
+//    all properties invariant under commuting independent operations —
+//    which every trace/outcome property in this repository is.
+//
+// On a violation the explorer emits a Counterexample and greedily shrinks it
+// (ddmin-style chunk deletion over the decision tape, re-running each
+// candidate), then *canonicalizes* the survivor into the exact decision
+// sequence of its run — an artifact that ReplayScheduler re-executes
+// verbatim with zero divergences.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "explore/system.h"
+#include "runtime/trace.h"
+
+namespace bss::explore {
+
+struct ExploreOptions {
+  /// Kill any single schedule after this many steps (counted, not checked).
+  std::uint64_t max_depth = 4096;
+  /// Maximum preemptions per schedule; -1 explores the full space.
+  int preemption_bound = -1;
+  /// Chess-style iterative bounding: sweep budgets 0..preemption_bound
+  /// instead of exploring only at the final budget.
+  bool iterative = false;
+  /// Sleep-set partial-order reduction.
+  bool use_por = true;
+  /// Stop after this many complete schedules (safety valve).
+  std::uint64_t max_schedules = 1'000'000;
+  /// Stop at the first violation (otherwise keep exploring, collecting up to
+  /// max_violations counterexamples).
+  bool stop_at_first_violation = true;
+  std::size_t max_violations = 8;
+  /// Shrink counterexamples before reporting them.
+  bool minimize = true;
+  /// Record traces during exploration runs (needed only if check() reads
+  /// env.trace(); off saves allocation in the hot loop).
+  bool record_trace = false;
+};
+
+struct ExploreStats {
+  std::uint64_t schedules = 0;         ///< complete executions checked
+  std::uint64_t transitions = 0;       ///< total granted steps
+  std::uint64_t sleep_set_prunes = 0;  ///< branches cut by POR
+  std::uint64_t preemption_prunes = 0; ///< branches cut by the budget
+  std::uint64_t truncated = 0;         ///< schedules cut by max_depth
+  std::uint64_t max_depth_seen = 0;    ///< longest schedule encountered
+  std::uint64_t shrink_runs = 0;       ///< re-executions spent minimizing
+
+  std::string summary() const;
+};
+
+/// A refutation: a decision sequence that drives the system factory into a
+/// property violation.  After minimization the sequence is *canonical*: it
+/// is the complete decision tape of a violating run, so ReplayScheduler
+/// re-executes it verbatim (zero divergences).
+struct Counterexample {
+  std::string system;          ///< ExplorableSystem::name() of the target
+  int processes = 0;
+  std::string violation;       ///< check()'s description
+  std::vector<int> decisions;  ///< canonical replay tape
+  std::size_t shrunk_from = 0; ///< decision count before minimization
+
+  /// Plain-text artifact round-trip (README: "Reproducing a counterexample").
+  std::string to_artifact() const;
+  static std::optional<Counterexample> from_artifact(const std::string& text);
+};
+
+struct ExploreResult {
+  ExploreStats stats;
+  std::vector<Counterexample> violations;
+  /// True iff the schedule space was fully covered: no preemption-budget
+  /// prune, no depth truncation, no schedule cap, exploration ran to
+  /// completion.  With use_por the coverage is up to commutation
+  /// equivalence.
+  bool exhausted = false;
+
+  bool ok() const { return violations.empty(); }
+  std::string summary() const;
+};
+
+/// Explores `system`'s schedule space under `options`.
+ExploreResult explore(const ExplorableSystem& system,
+                      const ExploreOptions& options = {});
+
+/// Outcome of re-executing a counterexample artifact.
+struct ReplayOutcome {
+  bool violated = false;        ///< check() reported a violation again
+  std::string violation;
+  std::uint64_t divergences = 0;  ///< ReplayScheduler departures from tape
+  bool truncated = false;         ///< hit ExploreOptions::max_depth
+  sim::RunReport report;
+};
+
+/// Re-runs `system` under ReplayScheduler(cex.decisions) and re-checks the
+/// property.  A healthy minimized counterexample reproduces its violation
+/// with zero divergences.
+ReplayOutcome replay_counterexample(const ExplorableSystem& system,
+                                    const Counterexample& cex,
+                                    const ExploreOptions& options = {});
+
+/// Greedy decision-tape shrinking (exposed for tests; explore() calls it
+/// when options.minimize).  Returns the canonicalized counterexample;
+/// `stats`, when given, accumulates the re-execution count.
+Counterexample minimize_counterexample(const ExplorableSystem& system,
+                                       Counterexample cex,
+                                       const ExploreOptions& options = {},
+                                       ExploreStats* stats = nullptr);
+
+/// The POR commutation rule, exposed for tests: pending operations commute
+/// unless they touch the same object and at least one of them writes.
+bool ops_commute(const sim::OpDesc& a, const sim::OpDesc& b);
+
+}  // namespace bss::explore

@@ -1,0 +1,31 @@
+// The AADGMS atomic snapshot as an explorable system, property-checked with
+// the Wing&Gong linearizability checker (runtime/linearizability.h): each
+// update/scan is recorded as an interval op, and after every explored
+// schedule the checker searches for a legal linearization.  This is the
+// explorer's second property family (after election safety) and the model
+// for plugging any interval-history object into it.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "explore/system.h"
+
+namespace bss::explore {
+
+class SnapshotScanSystem final : public ExplorableSystem {
+ public:
+  /// `writers` processes update their own component `rounds` times each; one
+  /// extra process scans `rounds + 1` times.
+  SnapshotScanSystem(int writers, int rounds);
+
+  std::string name() const override;
+  int process_count() const override { return writers_ + 1; }
+  std::unique_ptr<SystemInstance> make() const override;
+
+ private:
+  int writers_;
+  int rounds_;
+};
+
+}  // namespace bss::explore

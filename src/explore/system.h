@@ -1,0 +1,100 @@
+// The explorable-system interface: what the schedule-space explorer needs
+// from a system under test.
+//
+// An ExplorableSystem is a *factory*: every explored schedule re-runs the
+// system from scratch, so make() must return a fresh, fully independent
+// instance (fresh shared registers, fresh per-run accumulators).  The
+// factory must be deterministic — two instances driven by the same decision
+// sequence must behave identically — which every simulator-backed system in
+// this repository already is (SimEnv executions are a pure function of the
+// scheduler's decisions).
+//
+// Properties are pluggable through SystemInstance::check: election safety
+// (core/election_validator.h), linearizability (runtime/linearizability.h),
+// or any user invariant phrased over the finished run.  check() returns a
+// human-readable violation description, or nullopt when the run is correct.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "runtime/sim_env.h"
+
+namespace bss::explore {
+
+/// One run-worth of system state plus its property check.
+class SystemInstance {
+ public:
+  virtual ~SystemInstance() = default;
+
+  /// Registers the process bodies into `env`.  Called exactly once, before
+  /// the run; bodies may capture this instance's shared state by reference.
+  virtual void populate(sim::SimEnv& env) = 0;
+
+  /// Post-run property check.  `env` still holds the trace (if recorded) and
+  /// the shared objects captured by the bodies.  Never called on truncated
+  /// (step-limited) runs.  Returns the violation, or nullopt if correct.
+  virtual std::optional<std::string> check(const sim::SimEnv& env,
+                                           const sim::RunReport& report) = 0;
+};
+
+/// A named, repeatable source of fresh SystemInstances.
+class ExplorableSystem {
+ public:
+  virtual ~ExplorableSystem() = default;
+  virtual std::string name() const = 0;
+  virtual int process_count() const = 0;
+  virtual std::unique_ptr<SystemInstance> make() const = 0;
+};
+
+/// Instance helper for ad-hoc systems (tests, user invariants): owns a State
+/// and forwards populate/check to callables bound to it.
+template <class State>
+class StatefulInstance final : public SystemInstance {
+ public:
+  using Populate = std::function<void(State&, sim::SimEnv&)>;
+  using Check = std::function<std::optional<std::string>(
+      State&, const sim::SimEnv&, const sim::RunReport&)>;
+
+  StatefulInstance(std::unique_ptr<State> state, Populate populate,
+                   Check check)
+      : state_(std::move(state)),
+        populate_(std::move(populate)),
+        check_(std::move(check)) {}
+
+  void populate(sim::SimEnv& env) override { populate_(*state_, env); }
+  std::optional<std::string> check(const sim::SimEnv& env,
+                                   const sim::RunReport& report) override {
+    return check_(*state_, env, report);
+  }
+
+ private:
+  std::unique_ptr<State> state_;
+  Populate populate_;
+  Check check_;
+};
+
+/// System helper wrapping a plain factory callable.
+class FactorySystem final : public ExplorableSystem {
+ public:
+  using Factory = std::function<std::unique_ptr<SystemInstance>()>;
+
+  FactorySystem(std::string name, int processes, Factory factory)
+      : name_(std::move(name)),
+        processes_(processes),
+        factory_(std::move(factory)) {}
+
+  std::string name() const override { return name_; }
+  int process_count() const override { return processes_; }
+  std::unique_ptr<SystemInstance> make() const override { return factory_(); }
+
+ private:
+  std::string name_;
+  int processes_;
+  Factory factory_;
+};
+
+}  // namespace bss::explore

@@ -60,7 +60,9 @@ int ReplayScheduler::pick(const SchedView& view) {
         view.runnable.end()) {
       return pid;
     }
+    ++divergences_;  // recorded pid was not runnable: the tape is stale here
   }
+  ++divergences_;  // tape exhausted: the fallback, not the tape, is driving
   return fallback_.pick(view);
 }
 

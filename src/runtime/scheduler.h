@@ -88,7 +88,11 @@ class SoloScheduler final : public Scheduler {
 
 /// Replays a recorded decision sequence (falling back to round-robin when
 /// the recorded pid is not runnable, which keeps replay usable under
-/// slightly different crash plans).
+/// slightly different crash plans).  Every departure from the tape — a
+/// recorded pid that had to be skipped, or a pick served after the tape ran
+/// out — is counted as a *divergence*; exact replay of a counterexample
+/// artifact must finish with divergences() == 0, so stale traces can no
+/// longer masquerade as reproductions behind the silent fallback.
 class ReplayScheduler final : public Scheduler {
  public:
   explicit ReplayScheduler(std::vector<int> decisions)
@@ -96,9 +100,18 @@ class ReplayScheduler final : public Scheduler {
   int pick(const SchedView& view) override;
   std::string name() const override { return "replay"; }
 
+  /// Recorded decisions skipped because the pid was not runnable, plus picks
+  /// served by the round-robin fallback after the tape was exhausted.
+  std::uint64_t divergences() const { return divergences_; }
+  /// True iff every pick so far came verbatim from the tape.
+  bool exact_so_far() const { return divergences_ == 0; }
+  /// Tape entries consumed so far (skipped ones included).
+  std::size_t consumed() const { return next_; }
+
  private:
   std::vector<int> decisions_;
   std::size_t next_ = 0;
+  std::uint64_t divergences_ = 0;
   RoundRobinScheduler fallback_;
 };
 

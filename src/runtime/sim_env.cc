@@ -310,11 +310,12 @@ RunReport SimEnv::run(Scheduler& scheduler, const CrashPlan& crashes) {
 RunReport run_system(
     int n, const std::function<std::function<void(Ctx&)>(int)>& make_body,
     Scheduler& scheduler, Trace* trace_out, const CrashPlan& crashes,
-    SimOptions options) {
+    SimOptions options, std::vector<int>* decisions_out) {
   SimEnv env(options);
   for (int pid = 0; pid < n; ++pid) env.add_process(make_body(pid));
   RunReport report = env.run(scheduler, crashes);
   if (trace_out != nullptr) *trace_out = env.trace();
+  if (decisions_out != nullptr) *decisions_out = env.decisions();
   return report;
 }
 

@@ -185,8 +185,15 @@ class SimEnv {
 
 /// Convenience: build, populate and run a SimEnv in one call.
 /// `make_body(pid)` must return the body for process `pid`.
+///
+/// This is also the cheap re-run-from-factory path used by the schedule
+/// explorer (src/explore), which re-executes the same factory thousands of
+/// times: pass `options.record_trace = false` to skip trace accumulation and
+/// `decisions_out` to receive the decision sequence (moved, not copied) for
+/// replay or shrinking.
 RunReport run_system(int n, const std::function<std::function<void(Ctx&)>(int)>& make_body,
                      Scheduler& scheduler, Trace* trace_out = nullptr,
-                     const CrashPlan& crashes = {}, SimOptions options = {});
+                     const CrashPlan& crashes = {}, SimOptions options = {},
+                     std::vector<int>* decisions_out = nullptr);
 
 }  // namespace bss::sim

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "core/election_validator.h"
+#include "core/sim_election.h"
 #include "registers/mwmr_register.h"
 #include "registers/swmr_register.h"
 #include "runtime/crash_plan.h"
@@ -208,6 +210,93 @@ TEST(Scheduler, CasConvoyPrefersNonCas) {
   CasConvoyScheduler sched(1);
   for (int i = 0; i < 10; ++i) {
     EXPECT_EQ(sched.pick({0, runnable, procs}), 1);
+  }
+}
+
+TEST(Scheduler, ExactReplayHasZeroDivergences) {
+  std::vector<int> decisions;
+  const auto build = [](SimEnv& env, MwmrRegister<int>& reg) {
+    for (int pid = 0; pid < 3; ++pid) {
+      env.add_process([&reg, pid](Ctx& ctx) {
+        reg.write(ctx, pid);
+        (void)reg.read(ctx);
+      });
+    }
+  };
+  {
+    SimEnv env;
+    MwmrRegister<int> reg("r", 0);
+    build(env, reg);
+    RandomScheduler sched(23);
+    env.run(sched);
+    decisions = env.decisions();
+  }
+  SimEnv env;
+  MwmrRegister<int> reg("r", 0);
+  build(env, reg);
+  ReplayScheduler sched(decisions);
+  env.run(sched);
+  EXPECT_EQ(sched.divergences(), 0u);
+  EXPECT_TRUE(sched.exact_so_far());
+  EXPECT_EQ(sched.consumed(), decisions.size());
+}
+
+TEST(Scheduler, StaleTapeDivergencesAreCounted) {
+  // Two processes, one op each; the tape asks for p0 twice and is then
+  // exhausted: one skip (p0 already finished) + one fallback pick.
+  SimEnv env;
+  MwmrRegister<int> reg("r", 0);
+  for (int pid = 0; pid < 2; ++pid) {
+    env.add_process([&reg, pid](Ctx& ctx) { reg.write(ctx, pid); });
+  }
+  ReplayScheduler sched({0, 0});
+  const RunReport report = env.run(sched);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(sched.divergences(), 2u);
+  EXPECT_FALSE(sched.exact_so_far());
+}
+
+TEST(Scheduler, ShortTapeFallsBackAndCounts) {
+  SimEnv env;
+  MwmrRegister<int> reg("r", 0);
+  for (int pid = 0; pid < 2; ++pid) {
+    env.add_process([&reg, pid](Ctx& ctx) {
+      reg.write(ctx, pid);
+      (void)reg.read(ctx);
+    });
+  }
+  ReplayScheduler sched({1});  // 4 steps needed, tape covers one
+  const RunReport report = env.run(sched);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(sched.divergences(), 3u);  // three fallback-served picks
+}
+
+// Seeded stress sweep of the randomized adversaries over the scheduler-
+// driven FirstValueTree election (the simulator twin of the OS-thread
+// concurrent_election backend): every seed must produce a clean run that
+// the paper-grade validator accepts.
+TEST(Scheduler, HundredSeedSweepOverElection) {
+  constexpr int kK = 4;
+  constexpr int kProcs = 4;  // capacity (k-1)! = 6
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    {
+      RandomScheduler sched(seed);
+      const auto report = bss::core::run_sim_election(kK, kProcs, sched);
+      ASSERT_TRUE(report.run.clean())
+          << "random seed " << seed << ": " << report.run.summary();
+      const auto verdict = bss::core::verify_election(report);
+      ASSERT_TRUE(verdict.ok())
+          << "random seed " << seed << ": " << verdict.diagnosis;
+    }
+    {
+      CasConvoyScheduler sched(seed);
+      const auto report = bss::core::run_sim_election(kK, kProcs, sched);
+      ASSERT_TRUE(report.run.clean())
+          << "cas-convoy seed " << seed << ": " << report.run.summary();
+      const auto verdict = bss::core::verify_election(report);
+      ASSERT_TRUE(verdict.ok())
+          << "cas-convoy seed " << seed << ": " << verdict.diagnosis;
+    }
   }
 }
 
