@@ -10,6 +10,9 @@
 // with n (the helping scans) — bounded synchronization, unbounded gossip.
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
 #include "core/concurrent_election.h"
 #include "core/election_validator.h"
 #include "core/one_shot_election.h"
@@ -125,4 +128,21 @@ BENCHMARK(BM_OneShotElection)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled main instead of BENCHMARK_MAIN(): `--json` is sugar for
+// google-benchmark's JSON reporter, so every bench binary in this repo
+// shares one machine-readable flag (EXPERIMENTS.md).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char json_flag[] = "--benchmark_format=json";
+  for (auto& arg : args) {
+    if (std::string_view(arg) == "--json") arg = json_flag;
+  }
+  int args_count = bss::checked_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

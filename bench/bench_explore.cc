@@ -6,8 +6,13 @@
 // states/sec, and the POR pruning ratio (fraction of naive schedules the
 // sleep sets never had to run).  The LL/SC rows also show Chess-style
 // iterative preemption bounding at small budgets.
+//
+// `--json` prints the same rows as a JSON array instead of the table.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "explore/election_systems.h"
 #include "explore/explore.h"
@@ -19,13 +24,15 @@ using bss::explore::ExploreOptions;
 using bss::explore::ExploreResult;
 
 struct Row {
+  std::string label;
   ExploreResult result;
   double seconds = 0;
 };
 
-Row timed_explore(const ExplorableSystem& system,
+Row timed_explore(std::string label, const ExplorableSystem& system,
                   const ExploreOptions& options) {
   Row row;
+  row.label = std::move(label);
   const auto start = std::chrono::steady_clock::now();
   row.result = bss::explore::explore(system, options);
   row.seconds = std::chrono::duration<double>(
@@ -34,55 +41,83 @@ Row timed_explore(const ExplorableSystem& system,
   return row;
 }
 
-void print_row(const char* label, const Row& row) {
-  const auto& stats = row.result.stats;
-  const double rate =
-      row.seconds > 0 ? static_cast<double>(stats.schedules) / row.seconds : 0;
-  std::printf("%-28s %9llu %11llu %10.0f %9llu %9llu %s\n", label,
-              static_cast<unsigned long long>(stats.schedules),
-              static_cast<unsigned long long>(stats.transitions), rate,
-              static_cast<unsigned long long>(stats.sleep_set_prunes),
-              static_cast<unsigned long long>(stats.preemption_prunes),
-              row.result.exhausted ? "exhaustive" : "bounded");
+double rate_of(const Row& row) {
+  return row.seconds > 0
+             ? static_cast<double>(row.result.stats.schedules) / row.seconds
+             : 0;
+}
+
+void print_table(const std::vector<Row>& rows) {
+  std::printf("%-28s %9s %11s %10s %9s %9s %s\n", "system", "schedules",
+              "transitions", "sched/s", "slp-prune", "pre-prune", "coverage");
+  for (const Row& row : rows) {
+    const auto& stats = row.result.stats;
+    std::printf("%-28s %9llu %11llu %10.0f %9llu %9llu %s\n",
+                row.label.c_str(),
+                static_cast<unsigned long long>(stats.schedules),
+                static_cast<unsigned long long>(stats.transitions),
+                rate_of(row),
+                static_cast<unsigned long long>(stats.sleep_set_prunes),
+                static_cast<unsigned long long>(stats.preemption_prunes),
+                row.result.exhausted ? "exhaustive" : "bounded");
+  }
+}
+
+void print_json(const std::vector<Row>& rows) {
+  std::printf("[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& stats = rows[i].result.stats;
+    std::printf(
+        "  {\"system\": \"%s\", \"schedules\": %llu, \"transitions\": %llu, "
+        "\"schedules_per_sec\": %.0f, \"sleep_set_prunes\": %llu, "
+        "\"preemption_prunes\": %llu, \"exhausted\": %s}%s\n",
+        rows[i].label.c_str(),
+        static_cast<unsigned long long>(stats.schedules),
+        static_cast<unsigned long long>(stats.transitions), rate_of(rows[i]),
+        static_cast<unsigned long long>(stats.sleep_set_prunes),
+        static_cast<unsigned long long>(stats.preemption_prunes),
+        rows[i].result.exhausted ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("]\n");
 }
 
 }  // namespace
 
-int main() {
-  std::printf("%-28s %9s %11s %10s %9s %9s %s\n", "system", "schedules",
-              "transitions", "sched/s", "slp-prune", "pre-prune", "coverage");
+int main(int argc, char** argv) {
+  const bool json =
+      argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  std::vector<Row> rows;
 
   {
     bss::explore::OneShotSystem system(4, 3);
     ExploreOptions naive;
     naive.use_por = false;
-    const Row naive_row = timed_explore(system, naive);
-    print_row("one_shot[n=3] naive", naive_row);
-    const Row por_row = timed_explore(system, {});
-    print_row("one_shot[n=3] POR", por_row);
-    const double ratio =
-        1.0 - static_cast<double>(por_row.result.stats.schedules) /
-                  static_cast<double>(naive_row.result.stats.schedules);
-    std::printf("  POR pruning ratio: %.1f%% (%llu -> %llu schedules)\n",
-                100.0 * ratio,
-                static_cast<unsigned long long>(
-                    naive_row.result.stats.schedules),
-                static_cast<unsigned long long>(
-                    por_row.result.stats.schedules));
+    rows.push_back(timed_explore("one_shot[n=3] naive", system, naive));
+    rows.push_back(timed_explore("one_shot[n=3] POR", system, {}));
   }
 
   {
     bss::explore::LlScSystem system(3, 2);
-    const Row por_row = timed_explore(system, {});
-    print_row("llsc[k=3,n=2] POR", por_row);
+    rows.push_back(timed_explore("llsc[k=3,n=2] POR", system, {}));
     for (int bound = 0; bound <= 2; ++bound) {
       ExploreOptions options;
       options.preemption_bound = bound;
-      char label[64];
-      std::snprintf(label, sizeof label, "llsc[k=3,n=2] POR b=%d", bound);
-      print_row(label, timed_explore(system, options));
+      rows.push_back(timed_explore(
+          "llsc[k=3,n=2] POR b=" + std::to_string(bound), system, options));
     }
   }
 
+  if (json) {
+    print_json(rows);
+    return 0;
+  }
+  print_table(rows);
+  const double ratio = 1.0 - static_cast<double>(rows[1].result.stats.schedules) /
+                                 static_cast<double>(rows[0].result.stats.schedules);
+  std::printf("  POR pruning ratio: %.1f%% (%llu -> %llu schedules)\n",
+              100.0 * ratio,
+              static_cast<unsigned long long>(rows[0].result.stats.schedules),
+              static_cast<unsigned long long>(rows[1].result.stats.schedules));
   return 0;
 }

@@ -18,7 +18,7 @@ LlScElectionState::LlScElectionState(int k) : llsc("llsc", k) {
 }
 
 LlScElectionReport run_llsc_election(int k, int n, sim::Scheduler& scheduler,
-                                     const sim::CrashPlan& crashes) {
+                                     const sim::FaultPlan& faults) {
   expects(n >= 1 && static_cast<std::uint64_t>(n) <= slot_count(k),
           "LL/SC election capacity is (k-1)!");
   LlScElectionState state(k);
@@ -33,7 +33,7 @@ LlScElectionReport run_llsc_election(int k, int n, sim::Scheduler& scheduler,
           fvt_elect(memory, static_cast<std::uint64_t>(pid), 1000 + pid);
     });
   }
-  report.run = env.run(scheduler, crashes);
+  report.run = env.run(scheduler, faults);
 
   std::int64_t leader = kNoId;
   for (int pid = 0; pid < n; ++pid) {

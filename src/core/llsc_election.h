@@ -13,10 +13,15 @@
 //
 // The retry loop is bounded by the algorithm's no-reuse invariant: an SC
 // interfering with ours changed the value, values never repeat within a run,
-// so the next LL cannot read `a` again — at most TWO iterations ever happen.
+// so the next LL cannot read `a` again — at most TWO iterations ever happen
+// on ideal LL/SC.  One *spurious* SC failure (FaultPlan::fail_sc) costs one
+// extra round trip, and the no-reuse argument still cuts the chain after
+// it, so the guard of 3 attempts tolerates exactly one spurious failure per
+// c&s call; FaultPlan caps injection at one per process, which is stricter.
 // Capacity, validity, consistency and the O(k) access bound all carry over;
 // tests/test_election.cc exercises the adapter under the same schedulers and
-// crash storms as the c&s version.
+// crash storms as the c&s version, and tests/test_faults.cc under spurious
+// SC storms.
 #pragma once
 
 #include <cstdint>
@@ -27,7 +32,7 @@
 #include "registers/ll_sc.h"
 #include "registers/mwmr_register.h"
 #include "registers/swmr_register.h"
-#include "runtime/crash_plan.h"
+#include "runtime/fault_plan.h"
 #include "runtime/scheduler.h"
 #include "runtime/sim_env.h"
 
@@ -88,7 +93,10 @@ struct LlScElectionReport {
 };
 
 /// Runs n <= (k-1)! processes electing through one k-valued LL/SC register.
+/// `faults` may fail-stop processes and fail SCs spuriously (CrashPlan call
+/// sites keep working through the implicit FaultPlan lift); restart events
+/// are rejected — the bodies register no restart hook.
 LlScElectionReport run_llsc_election(int k, int n, sim::Scheduler& scheduler,
-                                     const sim::CrashPlan& crashes = {});
+                                     const sim::FaultPlan& faults = {});
 
 }  // namespace bss::core

@@ -1,0 +1,203 @@
+#include "core/recoverable_election.h"
+
+#include <thread>
+
+#include "core/concurrent_election.h"
+#include "util/checked.h"
+#include "util/rng.h"
+
+namespace bss::core {
+
+const char* to_string(RestartBehavior behavior) {
+  switch (behavior) {
+    case RestartBehavior::kRecover:
+      return "recover";
+    case RestartBehavior::kFreshClaim:
+      return "fresh-claim";
+  }
+  return "?";
+}
+
+RecoverableElectionReport run_recoverable_sim_election(
+    int k, int n, sim::Scheduler& scheduler, const sim::FaultPlan& faults,
+    RestartBehavior behavior, SimElectionOptions options) {
+  expects(n >= 1, "election needs at least one process");
+  expects(static_cast<std::uint64_t>(n) <= slot_count(k),
+          "more processes than slots: the algorithm's capacity is (k-1)!");
+
+  SimElectionState state(k);
+  std::vector<std::optional<ElectOutcome>> outcomes(
+      static_cast<std::size_t>(n));
+
+  if (options.slot_of_pid.empty()) {
+    options.slot_of_pid.resize(static_cast<std::size_t>(n));
+    for (int pid = 0; pid < n; ++pid) {
+      options.slot_of_pid[static_cast<std::size_t>(pid)] =
+          static_cast<std::uint64_t>(pid);
+    }
+  }
+  expects(options.slot_of_pid.size() == static_cast<std::size_t>(n),
+          "slot_of_pid must have one entry per process");
+
+  sim::SimEnv env(options.sim);
+  const std::uint64_t slots = slot_count(k);
+  for (int pid = 0; pid < n; ++pid) {
+    const std::uint64_t slot = options.slot_of_pid[static_cast<std::size_t>(pid)];
+    const std::int64_t id = options.id_base + pid;
+    const ElectPolicy policy = options.policy;
+    // One program for every incarnation: recovery must work from shared
+    // state plus the immutable inputs alone, so the restart hook IS the
+    // body.  Only the seeded mutant inspects the incarnation counter.
+    const auto program = [&state, &outcomes, slot, id, pid, behavior, slots,
+                          policy](sim::Ctx& ctx) {
+      std::uint64_t my_slot = slot;
+      std::int64_t my_id = id;
+      if (behavior == RestartBehavior::kFreshClaim && ctx.incarnation() > 0) {
+        // BUG (seeded): the recovered process rejoins as a brand-new
+        // participant instead of re-asserting its old claim.
+        const auto incarnation =
+            static_cast<std::uint64_t>(ctx.incarnation());
+        my_slot = (slot + incarnation) % slots;
+        my_id = id + kFreshClaimIdStride * ctx.incarnation();
+      }
+      SimElectionMemory memory(state, ctx);
+      outcomes[static_cast<std::size_t>(pid)] =
+          recoverable_elect(memory, my_slot, my_id, policy);
+    };
+    env.add_process(program, program);
+  }
+
+  RecoverableElectionReport report;
+  report.election.k = k;
+  report.election.processes = n;
+  report.election.id_base = options.id_base;
+  report.election.run = env.run(scheduler, faults);
+  report.election.outcomes = std::move(outcomes);
+  report.election.cas_history = state.cas.history();
+  report.election.cas_total_accesses = state.cas.total_accesses();
+  for (int pid = 0; pid < n; ++pid) {
+    if (report.election.run.outcomes[static_cast<std::size_t>(pid)] !=
+        sim::ProcOutcome::kFinished) {
+      report.election.outcomes[static_cast<std::size_t>(pid)].reset();
+    }
+  }
+  report.restarts_by_pid = report.election.run.restarts_by_pid;
+  return report;
+}
+
+namespace {
+
+/// Thrown by AbortingElectionMemory to model a hardware-thread restart: the
+/// stack unwinds (all private election state dies) and the thread loop
+/// re-enters recoverable_elect.
+struct ThreadRestart {};
+
+/// ElectionMemory adapter that counts shared operations and throws
+/// ThreadRestart just before the `abort_before`-th one — the std::thread
+/// analogue of FaultPlan::restart_before_op.
+class AbortingElectionMemory {
+ public:
+  AbortingElectionMemory(AtomicElectionMemory& mem, std::uint64_t abort_before,
+                         bool armed)
+      : mem_(&mem), abort_before_(abort_before), armed_(armed) {}
+
+  int k() const { return mem_->k(); }
+
+  int cas(int expect, int next) {
+    tick();
+    return mem_->cas(expect, next);
+  }
+  int read_confirm(int stage) const {
+    tick();
+    return mem_->read_confirm(stage);
+  }
+  void write_confirm(int stage, int symbol) {
+    tick();
+    mem_->write_confirm(stage, symbol);
+  }
+  std::int64_t read_announce(std::uint64_t slot) const {
+    tick();
+    return mem_->read_announce(slot);
+  }
+  void write_announce(std::uint64_t slot, std::int64_t id) {
+    tick();
+    mem_->write_announce(slot, id);
+  }
+
+ private:
+  void tick() const {
+    if (armed_ && ops_++ >= abort_before_) throw ThreadRestart{};
+  }
+
+  AtomicElectionMemory* mem_;
+  std::uint64_t abort_before_;
+  bool armed_;
+  mutable std::uint64_t ops_ = 0;
+};
+
+static_assert(ElectionMemory<AbortingElectionMemory>);
+
+}  // namespace
+
+RecoverableConcurrentReport run_recoverable_concurrent_election(
+    int k, int n, std::uint64_t seed, double restart_p, int max_restarts) {
+  expects(n >= 1, "election needs at least one thread");
+  expects(static_cast<std::uint64_t>(n) <= slot_count(k),
+          "more threads than slots: the algorithm's capacity is (k-1)!");
+  expects(max_restarts >= 0, "max_restarts must be non-negative");
+
+  // Pre-draw every thread's abort points so the storm is a deterministic
+  // function of the seed (the interleaving still is not — that's the point
+  // of the std::thread backend).
+  bss::Rng rng(seed);
+  const std::uint64_t max_op = static_cast<std::uint64_t>(16 * k);
+  std::vector<std::vector<std::uint64_t>> abort_plan(
+      static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    for (int r = 0; r < max_restarts; ++r) {
+      if (rng.next_double() < restart_p) {
+        abort_plan[static_cast<std::size_t>(t)].push_back(
+            rng.next_below(max_op));
+      }
+    }
+  }
+
+  AtomicElectionMemory shared(k);
+  RecoverableConcurrentReport report;
+  report.outcomes.resize(static_cast<std::size_t>(n));
+  report.restarts_by_thread.assign(static_cast<std::size_t>(n), 0);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    threads.emplace_back([&shared, &report, &abort_plan, t] {
+      const auto& aborts = abort_plan[static_cast<std::size_t>(t)];
+      std::size_t incarnation = 0;
+      for (;;) {
+        const bool armed = incarnation < aborts.size();
+        AbortingElectionMemory memory(shared, armed ? aborts[incarnation] : 0,
+                                      armed);
+        try {
+          report.outcomes[static_cast<std::size_t>(t)] = recoverable_elect(
+              memory, static_cast<std::uint64_t>(t), 1000 + t);
+          report.restarts_by_thread[static_cast<std::size_t>(t)] =
+              checked_cast<int>(incarnation);
+          return;
+        } catch (const ThreadRestart&) {
+          ++incarnation;  // all privates died with the unwound stack
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  for (int t = 0; t < n; ++t) {
+    const std::int64_t elected =
+        report.outcomes[static_cast<std::size_t>(t)].leader;
+    if (report.leader == kNoId) report.leader = elected;
+    if (elected != report.leader) report.consistent = false;
+  }
+  return report;
+}
+
+}  // namespace bss::core

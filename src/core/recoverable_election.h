@@ -1,0 +1,101 @@
+// Crash-recovery leader election.
+//
+// The paper's adversary is fail-stop; the crash-*recovery* model is strictly
+// harsher: a faulted process may come back, having lost every private local
+// (its label copy, its iteration counter, the c&s value it was about to
+// install) while all shared registers persist.  FirstValueTree turns out to
+// be naturally recovery-safe, because fvt_elect keeps no private state that
+// matters across an operation boundary:
+//
+//  * the announcement write is idempotent — a re-entered process rewrites
+//    announce[my_slot] := my_id, the same value (SWMR, same writer);
+//  * everything else is re-derived from shared state each iteration: the
+//    confirmed label is re-read from the confirm registers, and any
+//    unconfirmed install (a c&s the pre-crash incarnation won but did not
+//    confirm) is re-validated through the normal helper-confirm path — by
+//    the recovered process itself or by anyone else;
+//  * the decision is a pure read of the announce register on the completed
+//    path.
+//
+// recoverable_elect makes that contract explicit: it performs a *recovery
+// audit* (the slot's announce register must hold either nothing or this
+// process's own identity — re-claiming with the same immutable inputs is the
+// one legal move) and then runs fvt_elect unchanged.  The audit is what a
+// recovery-UNSAFE variant trips over; RestartBehavior::kFreshClaim below is
+// exactly that seeded mutant: each incarnation mints a fresh slot and a
+// fresh identity, the classic "recovered node rejoins as a new node" bug.
+// The fault explorer (src/explore, fault_bound >= 1) must refute it with a
+// minimized, replayable bss-counterexample v2 artifact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/first_value_tree.h"
+#include "core/sim_election.h"
+#include "runtime/fault_plan.h"
+#include "runtime/scheduler.h"
+
+namespace bss::core {
+
+/// How a process re-enters the election after a crash-restart.
+enum class RestartBehavior {
+  kRecover,     ///< recovery-safe: re-assert the same (slot, identity) claim
+  kFreshClaim,  ///< seeded mutant: every incarnation mints a fresh slot + id
+};
+
+const char* to_string(RestartBehavior behavior);
+
+/// Identity stride between incarnations of the kFreshClaim mutant: the i-th
+/// incarnation proposes id + i * kFreshClaimIdStride — an identity nobody
+/// registered, so electing it is a validity violation.
+inline constexpr std::int64_t kFreshClaimIdStride = 1000;
+
+/// The recovery-safe election entry point: audit the announce register for
+/// this slot (empty or our own id — anything else means the caller broke
+/// the immutable-inputs contract), then elect.  Safe to call any number of
+/// times with the same (my_slot, my_id); every call decides the same leader.
+template <ElectionMemory M>
+ElectOutcome recoverable_elect(M& mem, std::uint64_t my_slot,
+                               std::int64_t my_id,
+                               const ElectPolicy& policy = {}) {
+  const std::int64_t previously = mem.read_announce(my_slot);
+  expects(previously == kNoId || previously == my_id,
+          "recovery audit: slot already announced under a different identity");
+  return fvt_elect(mem, my_slot, my_id, policy);
+}
+
+/// Report of a simulator run under crash-restart faults.  `election` feeds
+/// verify_election unchanged (all four invariants apply verbatim in the
+/// recovery model).
+struct RecoverableElectionReport {
+  SimElectionReport election;
+  std::vector<int> restarts_by_pid;
+};
+
+/// Runs `n` restartable processes (n <= (k-1)!) under `scheduler` and
+/// `faults`.  Every process registers its own program as its restart hook:
+/// a restarted incarnation re-enters recoverable_elect with the same
+/// immutable (slot, id) — or, with RestartBehavior::kFreshClaim, with the
+/// mutant's freshly minted ones.
+RecoverableElectionReport run_recoverable_sim_election(
+    int k, int n, sim::Scheduler& scheduler, const sim::FaultPlan& faults = {},
+    RestartBehavior behavior = RestartBehavior::kRecover,
+    SimElectionOptions options = {});
+
+/// Crash-restart storm on the std::thread backend: each thread aborts its
+/// election at pre-drawn operation counts (losing all private state, exactly
+/// like a simulator restart) and re-enters recoverable_elect, at most
+/// `max_restarts` times.  Deterministic in `seed` up to thread interleaving.
+struct RecoverableConcurrentReport {
+  std::vector<ElectOutcome> outcomes;  // by thread index
+  std::vector<int> restarts_by_thread;
+  bool consistent = true;
+  std::int64_t leader = kNoId;
+};
+
+RecoverableConcurrentReport run_recoverable_concurrent_election(
+    int k, int n, std::uint64_t seed, double restart_p = 0.5,
+    int max_restarts = 2);
+
+}  // namespace bss::core

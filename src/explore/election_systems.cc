@@ -7,6 +7,7 @@
 #include "core/election_validator.h"
 #include "core/first_value_tree.h"
 #include "core/llsc_election.h"
+#include "core/recoverable_election.h"
 #include "core/sim_election.h"
 #include "util/checked.h"
 
@@ -16,13 +17,19 @@ namespace {
 
 constexpr std::int64_t kIdBase = 1000;
 
-/// Shared post-run checks: every process finished without throwing, all
-/// deciders agree, and the winner was actually proposed.
+/// Shared post-run checks: every surviving process finished without
+/// throwing, all survivors agree, and the winner was actually proposed.
+/// Crashed processes (fail-stop or killed mid-restart by the fault
+/// explorer) are exempt — a crash is the adversary's move, not the
+/// algorithm's failure — so agreement and validity quantify over the
+/// finished processes only.
 std::optional<std::string> check_outcomes(
     const sim::RunReport& report, const std::vector<std::int64_t>& elected,
     int n) {
+  std::int64_t leader = -1;
   for (int pid = 0; pid < n; ++pid) {
     const auto outcome = report.outcomes[static_cast<std::size_t>(pid)];
+    if (outcome == sim::ProcOutcome::kCrashed) continue;
     if (outcome == sim::ProcOutcome::kFailed) {
       return "p" + std::to_string(pid) +
              " failed: " + report.errors[static_cast<std::size_t>(pid)];
@@ -30,9 +37,6 @@ std::optional<std::string> check_outcomes(
     if (outcome != sim::ProcOutcome::kFinished) {
       return "p" + std::to_string(pid) + " never finished";
     }
-  }
-  std::int64_t leader = -1;
-  for (int pid = 0; pid < n; ++pid) {
     const std::int64_t mine = elected[static_cast<std::size_t>(pid)];
     if (leader == -1) leader = mine;
     if (mine != leader) {
@@ -42,7 +46,7 @@ std::optional<std::string> check_outcomes(
       return out.str();
     }
   }
-  if (leader < kIdBase || leader >= kIdBase + n) {
+  if (leader != -1 && (leader < kIdBase || leader >= kIdBase + n)) {
     std::ostringstream out;
     out << "invalid: elected id " << leader << " was never proposed";
     return out.str();
@@ -52,16 +56,25 @@ std::optional<std::string> check_outcomes(
 
 class OneShotInstance final : public SystemInstance {
  public:
-  OneShotInstance(int k, int n, core::OneShotMutant mutant)
-      : state_(k), n_(n), mutant_(mutant),
+  OneShotInstance(int k, int n, core::OneShotMutant mutant, bool restartable)
+      : state_(k), n_(n), mutant_(mutant), restartable_(restartable),
         elected_(static_cast<std::size_t>(n), -1) {}
 
   void populate(sim::SimEnv& env) override {
     for (int pid = 0; pid < n_; ++pid) {
-      env.add_process([this, pid](sim::Ctx& ctx) {
+      const auto body = [this, pid](sim::Ctx& ctx) {
         elected_[static_cast<std::size_t>(pid)] = core::one_shot_elect_mutant(
             state_, ctx, pid, kIdBase + pid, mutant_);
-      });
+      };
+      if (restartable_) {
+        // One-shot election is naturally recovery-safe: the claim write
+        // precedes the c&s, re-claiming is idempotent, and a re-run c&s that
+        // loses to the first incarnation's own install still reads back this
+        // process's symbol.  The body IS the restart hook.
+        env.add_process(body, body);
+      } else {
+        env.add_process(body);
+      }
     }
   }
 
@@ -74,6 +87,7 @@ class OneShotInstance final : public SystemInstance {
   core::MutantOneShotState state_;
   int n_;
   core::OneShotMutant mutant_;
+  bool restartable_;
   std::vector<std::int64_t> elected_;
 };
 
@@ -113,7 +127,7 @@ class LlScInstance final : public SystemInstance {
   std::vector<std::int64_t> elected_;
 };
 
-class FvtInstance final : public SystemInstance {
+class FvtInstance : public SystemInstance {
  public:
   FvtInstance(int k, int n)
       : state_(k), k_(k), n_(n), outcomes_(static_cast<std::size_t>(n)) {}
@@ -156,27 +170,64 @@ class FvtInstance final : public SystemInstance {
     return std::nullopt;
   }
 
- private:
+ protected:
   core::SimElectionState state_;
   int k_;
   int n_;
   std::vector<std::optional<core::ElectOutcome>> outcomes_;
 };
 
+/// FvtInstance with crash-restartable processes: each process's program is
+/// its own restart hook (recovery-safe elections re-derive everything from
+/// shared state), and the seeded kFreshClaim mutant mints a fresh slot and
+/// identity per incarnation.  The paper-grade check is inherited unchanged.
+class RecoverableFvtInstance final : public FvtInstance {
+ public:
+  RecoverableFvtInstance(int k, int n, core::RestartBehavior behavior)
+      : FvtInstance(k, n), behavior_(behavior) {}
+
+  void populate(sim::SimEnv& env) override {
+    const std::uint64_t slots = core::slot_count(k_);
+    for (int pid = 0; pid < n_; ++pid) {
+      const auto program = [this, pid, slots](sim::Ctx& ctx) {
+        auto my_slot = static_cast<std::uint64_t>(pid);
+        std::int64_t my_id = kIdBase + pid;
+        if (behavior_ == core::RestartBehavior::kFreshClaim &&
+            ctx.incarnation() > 0) {
+          // BUG (seeded): rejoin as a brand-new participant.
+          const auto incarnation =
+              static_cast<std::uint64_t>(ctx.incarnation());
+          my_slot = (my_slot + incarnation) % slots;
+          my_id += core::kFreshClaimIdStride * ctx.incarnation();
+        }
+        core::SimElectionMemory memory(state_, ctx);
+        outcomes_[static_cast<std::size_t>(pid)] =
+            core::recoverable_elect(memory, my_slot, my_id);
+      };
+      env.add_process(program, program);
+    }
+  }
+
+ private:
+  core::RestartBehavior behavior_;
+};
+
 }  // namespace
 
-OneShotSystem::OneShotSystem(int k, int n, core::OneShotMutant mutant)
-    : k_(k), n_(n), mutant_(mutant) {
+OneShotSystem::OneShotSystem(int k, int n, core::OneShotMutant mutant,
+                             bool restartable)
+    : k_(k), n_(n), mutant_(mutant), restartable_(restartable) {
   expects(n >= 1 && n <= k - 1, "one-shot election requires 1 <= n <= k-1");
 }
 
 std::string OneShotSystem::name() const {
   return "one_shot[k=" + std::to_string(k_) + ",n=" + std::to_string(n_) +
-         ",mutant=" + core::to_string(mutant_) + "]";
+         ",mutant=" + core::to_string(mutant_) +
+         (restartable_ ? ",restartable]" : "]");
 }
 
 std::unique_ptr<SystemInstance> OneShotSystem::make() const {
-  return std::make_unique<OneShotInstance>(k_, n_, mutant_);
+  return std::make_unique<OneShotInstance>(k_, n_, mutant_, restartable_);
 }
 
 LlScSystem::LlScSystem(int k, int n, bool sc_blind)
@@ -206,6 +257,26 @@ std::string FvtSystem::name() const {
 
 std::unique_ptr<SystemInstance> FvtSystem::make() const {
   return std::make_unique<FvtInstance>(k_, n_);
+}
+
+RecoverableFvtSystem::RecoverableFvtSystem(int k, int n,
+                                           core::RestartBehavior behavior)
+    : k_(k), n_(n), behavior_(behavior) {
+  expects(n >= 1 && static_cast<std::uint64_t>(n) <= core::slot_count(k),
+          "FirstValueTree capacity is (k-1)!");
+}
+
+std::string RecoverableFvtSystem::name() const {
+  std::string name =
+      "rfvt[k=" + std::to_string(k_) + ",n=" + std::to_string(n_);
+  if (behavior_ != core::RestartBehavior::kRecover) {
+    name += std::string(",mutant=") + core::to_string(behavior_);
+  }
+  return name + "]";
+}
+
+std::unique_ptr<SystemInstance> RecoverableFvtSystem::make() const {
+  return std::make_unique<RecoverableFvtInstance>(k_, n_, behavior_);
 }
 
 }  // namespace bss::explore

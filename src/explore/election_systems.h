@@ -8,17 +8,22 @@
 #include <string>
 
 #include "core/mutant_elections.h"
+#include "core/recoverable_election.h"
 #include "explore/system.h"
 
 namespace bss::explore {
 
 /// One-shot election (core/one_shot_election.h), optionally mutated
-/// (core/mutant_elections.h).  Property: every process finishes cleanly,
-/// all elect the same identity, and that identity was proposed.
+/// (core/mutant_elections.h).  Property: every surviving process finishes
+/// cleanly, all survivors elect the same identity, and that identity was
+/// proposed.  With `restartable`, processes register their body as their
+/// restart hook (one-shot election is naturally recovery-safe), making the
+/// system eligible for the explorer's crash-*restart* decisions.
 class OneShotSystem final : public ExplorableSystem {
  public:
   OneShotSystem(int k, int n,
-                core::OneShotMutant mutant = core::OneShotMutant::kNone);
+                core::OneShotMutant mutant = core::OneShotMutant::kNone,
+                bool restartable = false);
 
   std::string name() const override;
   int process_count() const override { return n_; }
@@ -28,6 +33,7 @@ class OneShotSystem final : public ExplorableSystem {
   int k_;
   int n_;
   core::OneShotMutant mutant_;
+  bool restartable_;
 };
 
 /// FirstValueTree election on the LL/SC register
@@ -62,6 +68,29 @@ class FvtSystem final : public ExplorableSystem {
  private:
   int k_;
   int n_;
+};
+
+/// Crash-*recoverable* FirstValueTree election
+/// (core/recoverable_election.h): every process registers its program as
+/// its restart hook, so the fault explorer may crash-restart it at any
+/// operation boundary.  RestartBehavior::kFreshClaim selects the seeded
+/// recovery-unsafe mutant (each incarnation mints a fresh slot and
+/// identity), which the fault explorer must refute.  Checked with the
+/// paper-grade validator, crashed processes exempt.
+class RecoverableFvtSystem final : public ExplorableSystem {
+ public:
+  RecoverableFvtSystem(
+      int k, int n,
+      core::RestartBehavior behavior = core::RestartBehavior::kRecover);
+
+  std::string name() const override;
+  int process_count() const override { return n_; }
+  std::unique_ptr<SystemInstance> make() const override;
+
+ private:
+  int k_;
+  int n_;
+  core::RestartBehavior behavior_;
 };
 
 }  // namespace bss::explore

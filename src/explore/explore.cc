@@ -1,10 +1,13 @@
 #include "explore/explore.h"
 
 #include <algorithm>
+#include <limits>
+#include <set>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
-#include "runtime/scheduler.h"
+#include "runtime/sim_env.h"
 #include "util/checked.h"
 
 namespace bss::explore {
@@ -19,169 +22,221 @@ bool ops_commute(const sim::OpDesc& a, const sim::OpDesc& b) {
 
 namespace {
 
-/// One node of the DFS tree: the scheduling state after `index` decisions.
+/// Sentinel for "no choice"; distinct from every encoded action (grants are
+/// >= 0, faults are small negatives).
+constexpr int kNoChoice = std::numeric_limits<int>::min();
+
+constexpr std::uint64_t pid_bit(int pid) {
+  return std::uint64_t{1} << static_cast<unsigned>(pid);
+}
+
+/// One node of the DFS tree: the scheduling state after `index` decisions
+/// (grants and faults alike).
 struct Frame {
   std::vector<int> runnable;           ///< ascending pids runnable here
   std::vector<sim::OpDesc> pending;    ///< by pid; valid for runnable pids
+  std::uint64_t restartable = 0;       ///< runnable pids with a restart hook
+  std::uint64_t sc_ready = 0;          ///< runnable pids parked on an SC
+  std::uint64_t sc_failed_before = 0;  ///< pids already failed spuriously
   std::vector<int> entry_sleep;        ///< sleeping pids on entry (sorted)
   std::vector<int> done;               ///< sibling choices already explored
-  int chosen = -1;                     ///< choice taken on the current path
+  int chosen = kNoChoice;              ///< choice taken on the current path
+  int prev_grant = -1;                 ///< pid granted most recently before
   int preemptions_before = 0;          ///< preemptions in decisions 0..index-1
+  int faults_before = 0;               ///< faults injected in 0..index-1
 };
 
-/// Thrown out of the scheduler when every choice at a fresh node is pruned;
-/// unwinds env.run(), whose destructor reaps the parked process threads.
-struct BranchPruned {
-  bool by_budget = false;
-};
-
-bool contains(const std::vector<int>& pids, int pid) {
-  return std::find(pids.begin(), pids.end(), pid) != pids.end();
+bool contains(const std::vector<int>& values, int value) {
+  return std::find(values.begin(), values.end(), value) != values.end();
 }
 
 struct PassState {
   std::vector<Frame> frames;
-  int budget = -1;          ///< preemption budget; -1 = unbounded
+  int budget = -1;        ///< preemption budget; -1 = unbounded
+  int fault_budget = 0;   ///< fault budget; 0 = no fault exploration
   bool use_por = true;
-  bool budget_limited = false;  ///< some branch was cut by the budget
+  bool explore_crashes = false;
+  bool explore_restarts = false;
+  bool explore_sc = false;
+  bool budget_limited = false;  ///< some branch was cut by the preemption budget
+  bool fault_limited = false;   ///< some branch was cut by the fault budget
 };
 
-/// Scheduling a choice away from the previous (still-runnable) process costs
-/// one preemption.
-int choice_cost(const Frame& frame, int prev_pid, int choice) {
-  if (prev_pid < 0 || choice == prev_pid) return 0;
-  return contains(frame.runnable, prev_pid) ? 1 : 0;
+/// Granting away from the most recently granted (still-runnable) process
+/// costs one preemption.  Fault actions are not grants: a crash/restart of
+/// another process does not preempt the running one.
+int choice_cost(const Frame& frame, int grant_pid) {
+  if (frame.prev_grant < 0 || grant_pid == frame.prev_grant) return 0;
+  return contains(frame.runnable, frame.prev_grant) ? 1 : 0;
 }
 
-/// First unexplored, unslept, budget-feasible choice at `frame`; prefers
-/// continuing `prev_pid` (free), then ascending pid order.  -1 if none.
-int select_choice(const Frame& frame, int prev_pid, const PassState& pass) {
-  std::vector<int> order;
-  order.reserve(frame.runnable.size());
-  if (prev_pid >= 0 && contains(frame.runnable, prev_pid)) {
-    order.push_back(prev_pid);
+bool grant_feasible(const Frame& frame, int pid, const PassState& pass) {
+  if (contains(frame.done, pid)) return false;
+  if (pass.use_por && contains(frame.entry_sleep, pid)) return false;
+  if (pass.budget >= 0 &&
+      frame.preemptions_before + choice_cost(frame, pid) > pass.budget) {
+    return false;
+  }
+  return true;
+}
+
+/// First unexplored, feasible choice at `frame`: grants first (continuing
+/// prev_grant is free, then ascending pid order), then — fault budget
+/// permitting — spurious-SC, crash and restart injections in pid order.
+/// Sleep sets apply to plain grants only: a spurious-failing SC has a
+/// different effect than the explored grant, so it never sleeps.
+int select_choice(const Frame& frame, const PassState& pass) {
+  if (contains(frame.runnable, frame.prev_grant) &&
+      grant_feasible(frame, frame.prev_grant, pass)) {
+    return frame.prev_grant;
   }
   for (const int pid : frame.runnable) {
-    if (pid != prev_pid) order.push_back(pid);
+    if (pid == frame.prev_grant) continue;
+    if (grant_feasible(frame, pid, pass)) return pid;
   }
-  for (const int pid : order) {
-    if (contains(frame.done, pid)) continue;
-    if (pass.use_por && contains(frame.entry_sleep, pid)) continue;
-    if (pass.budget >= 0 &&
-        frame.preemptions_before + choice_cost(frame, prev_pid, pid) >
-            pass.budget) {
-      continue;
+  if (pass.fault_budget > 0 && frame.faults_before < pass.fault_budget) {
+    if (pass.explore_sc) {
+      for (const int pid : frame.runnable) {
+        if ((frame.sc_ready & pid_bit(pid)) == 0) continue;
+        if ((frame.sc_failed_before & pid_bit(pid)) != 0) continue;
+        const int choice = encode_action(ActionKind::kScFailure, pid);
+        if (contains(frame.done, choice)) continue;
+        // A spurious SC still performs the (failing) operation, so the
+        // preemption cost of granting `pid` applies.
+        if (pass.budget >= 0 &&
+            frame.preemptions_before + choice_cost(frame, pid) > pass.budget) {
+          continue;
+        }
+        return choice;
+      }
     }
-    return pid;
+    if (pass.explore_crashes) {
+      for (const int pid : frame.runnable) {
+        const int choice = encode_action(ActionKind::kCrash, pid);
+        if (!contains(frame.done, choice)) return choice;
+      }
+    }
+    if (pass.explore_restarts) {
+      for (const int pid : frame.runnable) {
+        if ((frame.restartable & pid_bit(pid)) == 0) continue;
+        const int choice = encode_action(ActionKind::kRestart, pid);
+        if (!contains(frame.done, choice)) return choice;
+      }
+    }
   }
-  return -1;
+  return kNoChoice;
 }
 
-/// The exploration adversary: replays the fixed prefix recorded in
-/// pass->frames, then extends the frontier one node per step, applying the
-/// sleep-set and preemption filters.
-class DfsScheduler final : public sim::Scheduler {
- public:
-  DfsScheduler(PassState* pass, ExploreStats* stats)
-      : pass_(pass), stats_(stats) {}
-
-  std::string name() const override { return "dfs-explore"; }
-
-  int pick(const sim::SchedView& view) override {
-    ++stats_->transitions;
-    auto& frames = pass_->frames;
-
-    if (step_ < frames.size()) {
-      // Prefix replay: the factory is deterministic, so the runnable set
-      // must match what the previous run recorded here.
-      Frame& frame = frames[step_];
-      if (!std::equal(frame.runnable.begin(), frame.runnable.end(),
-                      view.runnable.begin(), view.runnable.end())) {
-        throw std::logic_error(
-            "schedule exploration diverged on prefix replay: the system "
-            "factory is nondeterministic");
-      }
-      ++step_;
-      return frame.chosen;
+/// Materializes the frontier node reached with `runnable` after `parent`
+/// took its chosen action (parent == nullptr at the root).
+Frame make_frame(const sim::SimEnv& env, std::vector<int> runnable,
+                 const PassState& pass, const Frame* parent) {
+  Frame frame;
+  frame.runnable = std::move(runnable);
+  frame.pending.resize(static_cast<std::size_t>(env.process_count()));
+  for (const int pid : frame.runnable) {
+    frame.pending[static_cast<std::size_t>(pid)] = env.pending_of(pid);
+    if (env.restart_supported(pid)) frame.restartable |= pid_bit(pid);
+    if (frame.pending[static_cast<std::size_t>(pid)].op == "sc") {
+      frame.sc_ready |= pid_bit(pid);
     }
-
-    // Frontier: materialize a new node.
-    Frame frame;
-    frame.runnable.assign(view.runnable.begin(), view.runnable.end());
-    frame.pending.resize(view.processes.size());
-    for (const int pid : frame.runnable) {
-      frame.pending[static_cast<std::size_t>(pid)] =
-          view.processes[static_cast<std::size_t>(pid)].pending;
-    }
-    const int prev_pid = step_ > 0 ? frames[step_ - 1].chosen : -1;
-    if (step_ > 0) {
-      const Frame& parent = frames[step_ - 1];
-      frame.preemptions_before =
-          parent.preemptions_before +
-          choice_cost(parent, step_ > 1 ? frames[step_ - 2].chosen : -1,
-                      parent.chosen);
-      if (pass_->use_por) {
-        // Sleep-set propagation: everything asleep at the parent (inherited
-        // or explored there) stays asleep iff it commutes with the operation
-        // the parent's choice just performed.
-        const auto& parent_op =
-            parent.pending[static_cast<std::size_t>(parent.chosen)];
-        const auto inherit = [&](int pid) {
-          if (pid == parent.chosen) return;
-          if (ops_commute(parent.pending[static_cast<std::size_t>(pid)],
-                          parent_op)) {
-            frame.entry_sleep.push_back(pid);
-          }
-        };
-        for (const int pid : parent.entry_sleep) inherit(pid);
-        for (const int pid : parent.done) inherit(pid);
-        std::sort(frame.entry_sleep.begin(), frame.entry_sleep.end());
-      }
-    }
-
-    // Account the branches the filters cut at this node (both filters are
-    // functions of the frame alone, so counting once at creation is exact).
-    bool budget_cut_here = false;
-    for (const int pid : frame.runnable) {
-      if (pass_->use_por && contains(frame.entry_sleep, pid)) {
-        ++stats_->sleep_set_prunes;
-        continue;
-      }
-      if (pass_->budget >= 0 &&
-          frame.preemptions_before + choice_cost(frame, prev_pid, pid) >
-              pass_->budget) {
-        ++stats_->preemption_prunes;
-        pass_->budget_limited = true;
-        budget_cut_here = true;
-      }
-    }
-
-    const int choice = select_choice(frame, prev_pid, *pass_);
-    if (choice < 0) throw BranchPruned{budget_cut_here};
-    frame.chosen = choice;
-    frames.push_back(std::move(frame));
-    ++step_;
-    return choice;
   }
+  if (parent == nullptr) return frame;
 
- private:
-  PassState* pass_;
-  ExploreStats* stats_;
-  std::size_t step_ = 0;
-};
+  const Action parent_action = decode_action(parent->chosen);
+  const bool parent_granted = parent_action.kind == ActionKind::kGrant ||
+                              parent_action.kind == ActionKind::kScFailure;
+  frame.sc_failed_before = parent->sc_failed_before;
+  if (parent_action.kind == ActionKind::kScFailure) {
+    frame.sc_failed_before |= pid_bit(parent_action.pid);
+  }
+  frame.faults_before = parent->faults_before +
+                        (parent_action.kind == ActionKind::kGrant ? 0 : 1);
+  if (parent_granted) {
+    frame.prev_grant = parent_action.pid;
+    frame.preemptions_before =
+        parent->preemptions_before + choice_cost(*parent, parent_action.pid);
+    if (pass.use_por) {
+      // Sleep-set propagation: everything asleep at the parent (inherited
+      // or explored there) stays asleep iff it commutes with the operation
+      // the parent's choice just performed.  Only plain grants in the
+      // parent's done set count — fault siblings are not operations.
+      const auto& parent_op =
+          parent->pending[static_cast<std::size_t>(parent_action.pid)];
+      const auto inherit = [&](int pid) {
+        if (pid == parent_action.pid) return;
+        if (ops_commute(parent->pending[static_cast<std::size_t>(pid)],
+                        parent_op)) {
+          frame.entry_sleep.push_back(pid);
+        }
+      };
+      for (const int pid : parent->entry_sleep) inherit(pid);
+      for (const int choice : parent->done) {
+        const Action done_action = decode_action(choice);
+        if (done_action.kind == ActionKind::kGrant) inherit(done_action.pid);
+      }
+      std::sort(frame.entry_sleep.begin(), frame.entry_sleep.end());
+    }
+  } else {
+    // Crash/restart: not a shared-memory operation, so the commutation
+    // bookkeeping does not extend across it — start this node with an empty
+    // sleep set (sound: strictly less pruning).  Continuing the previously
+    // granted process after an unrelated fault is still free.
+    frame.prev_grant = parent->prev_grant;
+    frame.preemptions_before = parent->preemptions_before;
+  }
+  return frame;
+}
+
+/// Accounts the branches the filters cut at a freshly materialized node
+/// (all filters are functions of the frame alone, so counting once at
+/// creation is exact).
+void account_frame(const Frame& frame, PassState& pass, ExploreStats& stats) {
+  for (const int pid : frame.runnable) {
+    if (pass.use_por && contains(frame.entry_sleep, pid)) {
+      ++stats.sleep_set_prunes;
+      continue;
+    }
+    if (pass.budget >= 0 &&
+        frame.preemptions_before + choice_cost(frame, pid) > pass.budget) {
+      ++stats.preemption_prunes;
+      pass.budget_limited = true;
+    }
+  }
+  // Note: this must also count at fault_budget == 0 (where every fault
+  // choice is cut) — the iterative sweep keys "deepen the fault budget?"
+  // off fault_limited.
+  const bool faults_enabled =
+      pass.explore_crashes || pass.explore_restarts || pass.explore_sc;
+  if (faults_enabled && frame.faults_before >= pass.fault_budget) {
+    std::uint64_t cut = 0;
+    if (pass.explore_crashes) cut += frame.runnable.size();
+    for (const int pid : frame.runnable) {
+      if (pass.explore_restarts && (frame.restartable & pid_bit(pid)) != 0) {
+        ++cut;
+      }
+      if (pass.explore_sc && (frame.sc_ready & pid_bit(pid)) != 0 &&
+          (frame.sc_failed_before & pid_bit(pid)) == 0) {
+        ++cut;
+      }
+    }
+    if (cut > 0) {
+      stats.fault_prunes += cut;
+      pass.fault_limited = true;
+    }
+  }
+}
 
 /// Backtracks to the deepest node with an unexplored sibling; returns false
-/// when the whole space (at this budget) is done.
+/// when the whole space (at this budget pair) is done.
 bool advance(PassState& pass) {
   auto& frames = pass.frames;
   while (!frames.empty()) {
     Frame& frame = frames.back();
     frame.done.push_back(frame.chosen);
-    frame.chosen = -1;
-    const int prev_pid =
-        frames.size() > 1 ? frames[frames.size() - 2].chosen : -1;
-    const int next = select_choice(frame, prev_pid, pass);
-    if (next >= 0) {
+    frame.chosen = kNoChoice;
+    const int next = select_choice(frame, pass);
+    if (next != kNoChoice) {
       frame.chosen = next;
       return true;
     }
@@ -189,6 +244,17 @@ bool advance(PassState& pass) {
   }
   return false;
 }
+
+std::vector<int> parked_pids(const sim::SimEnv& env) {
+  std::vector<int> runnable;
+  for (int pid = 0; pid < env.process_count(); ++pid) {
+    if (env.is_parked(pid)) runnable.push_back(pid);
+  }
+  return runnable;
+}
+
+/// Fault-site coordinate: (encoded action, victim's lifetime op count).
+using FaultPoint = std::pair<int, std::uint64_t>;
 
 struct RunOutcome {
   bool pruned = false;
@@ -198,7 +264,8 @@ struct RunOutcome {
 };
 
 RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
-                   PassState& pass, ExploreStats& stats) {
+                   PassState& pass, ExploreStats& stats,
+                   std::set<FaultPoint>* fault_points) {
   RunOutcome outcome;
   auto instance = system.make();
   sim::SimOptions sim_options;
@@ -206,57 +273,202 @@ RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
   sim_options.record_trace = opts.record_trace;
   sim::SimEnv env(sim_options);
   instance->populate(env);
-  DfsScheduler scheduler(&pass, &stats);
-  sim::RunReport report;
-  try {
-    report = env.run(scheduler);
-  } catch (const BranchPruned&) {
-    outcome.pruned = true;  // prune kind was accounted inside pick()
-    return outcome;
+  expects(env.process_count() <= 64,
+          "the fault-aware explorer supports at most 64 processes");
+  env.start();
+
+  std::vector<int> actions;
+  std::size_t depth = 0;
+  std::uint64_t granted = 0;
+  bool truncated = false;
+  for (;;) {
+    std::vector<int> runnable = parked_pids(env);
+    if (runnable.empty()) break;
+    if (granted >= opts.max_depth) {
+      truncated = true;
+      break;
+    }
+
+    int choice = kNoChoice;
+    if (depth < pass.frames.size()) {
+      // Prefix replay: the factory is deterministic, so the runnable set
+      // must match what the previous run recorded here.
+      const Frame& frame = pass.frames[depth];
+      if (frame.runnable != runnable) {
+        throw std::logic_error(
+            "schedule exploration diverged on prefix replay: the system "
+            "factory is nondeterministic");
+      }
+      choice = frame.chosen;
+    } else {
+      const Frame* parent = depth > 0 ? &pass.frames[depth - 1] : nullptr;
+      Frame frame = make_frame(env, std::move(runnable), pass, parent);
+      account_frame(frame, pass, stats);
+      choice = select_choice(frame, pass);
+      if (choice == kNoChoice) {
+        env.finish();
+        outcome.pruned = true;  // prune kinds were accounted above
+        return outcome;
+      }
+      frame.chosen = choice;
+      pass.frames.push_back(std::move(frame));
+    }
+    ++depth;
+
+    const Action action = decode_action(choice);
+    if (action.kind != ActionKind::kGrant) {
+      ++stats.faults_injected;
+      if (fault_points != nullptr) {
+        fault_points->emplace(choice, env.steps_of(action.pid));
+      }
+    }
+    switch (action.kind) {
+      case ActionKind::kGrant:
+        env.step_process(action.pid);
+        ++granted;
+        ++stats.transitions;
+        break;
+      case ActionKind::kScFailure:
+        env.inject_sc_failure(action.pid);
+        env.step_process(action.pid);
+        ++granted;
+        ++stats.transitions;
+        break;
+      case ActionKind::kCrash:
+        env.kill_process(action.pid);
+        break;
+      case ActionKind::kRestart:
+        env.restart_process(action.pid);
+        break;
+    }
+    actions.push_back(choice);
   }
+  env.finish();
+
   ++stats.schedules;
-  stats.max_depth_seen = std::max(stats.max_depth_seen, report.total_steps);
-  if (report.step_limit_hit) {
+  stats.max_depth_seen = std::max(stats.max_depth_seen, granted);
+  if (truncated) {
     ++stats.truncated;
     outcome.truncated = true;
     return outcome;
   }
+  const sim::RunReport report = env.snapshot_report();
   outcome.violation = instance->check(env, report);
-  if (outcome.violation.has_value()) outcome.decisions = env.decisions();
+  if (outcome.violation.has_value()) outcome.decisions = std::move(actions);
   return outcome;
 }
 
-/// Replays `tape` (with round-robin completion past its end) and re-checks.
-struct AttemptResult {
+/// True iff `decision` can be applied to the current state: the pid is
+/// parked, restarts need a hook, spurious SC needs a pending SC.
+bool applicable(const sim::SimEnv& env, int decision) {
+  const Action action = decode_action(decision);
+  if (action.pid < 0 || action.pid >= env.process_count()) return false;
+  if (!env.is_parked(action.pid)) return false;
+  switch (action.kind) {
+    case ActionKind::kGrant:
+    case ActionKind::kCrash:
+      return true;
+    case ActionKind::kRestart:
+      return env.restart_supported(action.pid);
+    case ActionKind::kScFailure:
+      return env.pending_of(action.pid).op == "sc";
+  }
+  return false;
+}
+
+/// Replays `tape` — grants and faults — skipping inapplicable entries and
+/// completing round-robin past its end (each counted as a divergence, the
+/// ReplayScheduler contract), then re-checks the property.
+struct TapeResult {
   bool reproduced = false;
   std::string violation;
   std::vector<int> canonical;
   std::uint64_t divergences = 0;
+  bool truncated = false;
+  sim::RunReport report;
 };
 
-AttemptResult attempt_tape(const ExplorableSystem& system,
-                           const ExploreOptions& opts,
-                           const std::vector<int>& tape) {
-  AttemptResult result;
+TapeResult run_tape(const ExplorableSystem& system, const ExploreOptions& opts,
+                    const std::vector<int>& tape) {
+  TapeResult result;
   auto instance = system.make();
   sim::SimOptions sim_options;
   sim_options.step_limit = opts.max_depth;
   sim_options.record_trace = true;  // checks may read the trace on replay
   sim::SimEnv env(sim_options);
   instance->populate(env);
-  sim::ReplayScheduler scheduler(tape);
-  const sim::RunReport report = env.run(scheduler);
-  result.divergences = scheduler.divergences();
-  if (report.step_limit_hit) return result;
-  const auto violation = instance->check(env, report);
-  if (!violation.has_value()) return result;
-  result.reproduced = true;
-  result.violation = *violation;
-  result.canonical = env.decisions();
+  const int n = env.process_count();
+  env.start();
+
+  std::size_t next = 0;
+  int rr_cursor = 0;
+  std::uint64_t granted = 0;
+  for (;;) {
+    if (parked_pids(env).empty()) break;
+    if (granted >= opts.max_depth) {
+      result.truncated = true;
+      break;
+    }
+    int choice = kNoChoice;
+    while (next < tape.size()) {
+      const int candidate = tape[next++];
+      if (applicable(env, candidate)) {
+        choice = candidate;
+        break;
+      }
+      ++result.divergences;
+    }
+    if (choice == kNoChoice) {
+      for (int i = 0; i < n; ++i) {
+        const int pid = (rr_cursor + i) % n;
+        if (env.is_parked(pid)) {
+          choice = pid;
+          rr_cursor = pid + 1;
+          break;
+        }
+      }
+      ++result.divergences;
+    }
+    const Action action = decode_action(choice);
+    switch (action.kind) {
+      case ActionKind::kGrant:
+        env.step_process(action.pid);
+        ++granted;
+        break;
+      case ActionKind::kScFailure:
+        env.inject_sc_failure(action.pid);
+        env.step_process(action.pid);
+        ++granted;
+        break;
+      case ActionKind::kCrash:
+        env.kill_process(action.pid);
+        break;
+      case ActionKind::kRestart:
+        env.restart_process(action.pid);
+        break;
+    }
+    result.canonical.push_back(choice);
+  }
+  env.finish();
+
+  result.report = env.snapshot_report();
+  result.report.step_limit_hit = result.truncated;
+  if (result.truncated) return result;
+  const auto violation = instance->check(env, result.report);
+  if (violation.has_value()) {
+    result.reproduced = true;
+    result.violation = *violation;
+  }
   return result;
 }
 
 }  // namespace
+
+std::size_t Counterexample::fault_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(decisions.begin(), decisions.end(),
+                    [](int decision) { return is_fault_action(decision); }));
+}
 
 Counterexample minimize_counterexample(const ExplorableSystem& system,
                                        Counterexample cex,
@@ -266,10 +478,10 @@ Counterexample minimize_counterexample(const ExplorableSystem& system,
     if (stats != nullptr) ++stats->shrink_runs;
   };
   // Canonicalize up front and keep `best` canonical throughout: always the
-  // *complete* decision sequence of a violating run, so ReplayScheduler
+  // *complete* decision sequence of a violating run, so the replayer
   // re-executes the result verbatim — zero divergences, no silent fallback.
   count_run();
-  AttemptResult current = attempt_tape(system, options, cex.decisions);
+  TapeResult current = run_tape(system, options, cex.decisions);
   expects(current.reproduced,
           "counterexample does not reproduce before minimization "
           "(nondeterministic system factory?)");
@@ -281,7 +493,9 @@ Counterexample minimize_counterexample(const ExplorableSystem& system,
   // the violation still reproduces.  The fallback completes a truncated
   // candidate along a possibly *longer* schedule (LL/SC retry loops make
   // step counts schedule-dependent), so a deletion is accepted only when
-  // its canonical tape is a strict length win.
+  // its canonical tape is a strict length win.  Fault entries are ordinary
+  // tape entries here: spans containing them are dropped like any other,
+  // so a violation that needs fewer faults shrinks to fewer faults.
   for (std::size_t chunk = std::max<std::size_t>(best.size() / 2, 1);;
        chunk /= 2) {
     std::size_t start = 0;
@@ -295,7 +509,7 @@ Counterexample minimize_counterexample(const ExplorableSystem& system,
                        best.begin() + static_cast<std::ptrdiff_t>(start + len),
                        best.end());
       count_run();
-      AttemptResult attempt = attempt_tape(system, options, candidate);
+      TapeResult attempt = run_tape(system, options, candidate);
       if (attempt.reproduced && attempt.canonical.size() < best.size()) {
         best = std::move(attempt.canonical);
         violation = std::move(attempt.violation);
@@ -315,24 +529,13 @@ Counterexample minimize_counterexample(const ExplorableSystem& system,
 ReplayOutcome replay_counterexample(const ExplorableSystem& system,
                                     const Counterexample& cex,
                                     const ExploreOptions& options) {
+  TapeResult result = run_tape(system, options, cex.decisions);
   ReplayOutcome outcome;
-  auto instance = system.make();
-  sim::SimOptions sim_options;
-  sim_options.step_limit = options.max_depth;
-  sim_options.record_trace = true;
-  sim::SimEnv env(sim_options);
-  instance->populate(env);
-  sim::ReplayScheduler scheduler(cex.decisions);
-  outcome.report = env.run(scheduler);
-  outcome.divergences = scheduler.divergences();
-  outcome.truncated = outcome.report.step_limit_hit;
-  if (!outcome.truncated) {
-    const auto violation = instance->check(env, outcome.report);
-    if (violation.has_value()) {
-      outcome.violated = true;
-      outcome.violation = *violation;
-    }
-  }
+  outcome.violated = result.reproduced;
+  outcome.violation = std::move(result.violation);
+  outcome.divergences = result.divergences;
+  outcome.truncated = result.truncated;
+  outcome.report = std::move(result.report);
   return outcome;
 }
 
@@ -342,52 +545,82 @@ ExploreResult explore(const ExplorableSystem& system,
 
   // Chess-style iterative bounding: sweep small budgets first so the
   // simplest refutation surfaces; a budget that cut nothing covered the
-  // whole space, making larger budgets redundant.
-  std::vector<int> budgets;
+  // whole space, making larger budgets redundant.  Fault budgets sweep
+  // outermost — a zero-fault refutation beats a one-fault one.
+  std::vector<int> preemption_budgets;
   if (options.preemption_bound >= 0 && options.iterative) {
-    for (int b = 0; b <= options.preemption_bound; ++b) budgets.push_back(b);
+    for (int b = 0; b <= options.preemption_bound; ++b) {
+      preemption_budgets.push_back(b);
+    }
   } else {
-    budgets.push_back(options.preemption_bound);
+    preemption_budgets.push_back(options.preemption_bound);
+  }
+  const bool faults_on =
+      options.fault_bound > 0 &&
+      (options.explore_crashes || options.explore_restarts ||
+       options.explore_sc_failures);
+  std::vector<int> fault_budgets;
+  if (!faults_on) {
+    fault_budgets.push_back(0);
+  } else if (options.iterative) {
+    for (int b = 0; b <= options.fault_bound; ++b) fault_budgets.push_back(b);
+  } else {
+    fault_budgets.push_back(options.fault_bound);
   }
 
+  std::set<FaultPoint> fault_points;
   bool cap_hit = false;
   bool stopped = false;
   bool last_pass_budget_limited = false;
-  for (const int budget : budgets) {
-    PassState pass;
-    pass.budget = budget;
-    pass.use_por = options.use_por;
-    for (;;) {
-      if (result.stats.schedules >= options.max_schedules) {
-        cap_hit = true;
-        break;
-      }
-      const RunOutcome outcome = run_one(system, options, pass, result.stats);
-      if (outcome.violation.has_value()) {
-        Counterexample cex;
-        cex.system = system.name();
-        cex.processes = system.process_count();
-        cex.violation = *outcome.violation;
-        cex.decisions = outcome.decisions;
-        cex.shrunk_from = outcome.decisions.size();
-        if (options.minimize) {
-          cex = minimize_counterexample(system, std::move(cex), options,
-                                        &result.stats);
-        }
-        result.violations.push_back(std::move(cex));
-        if (options.stop_at_first_violation ||
-            result.violations.size() >= options.max_violations) {
-          stopped = true;
+  for (const int fault_budget : fault_budgets) {
+    bool fault_limited_at_this_budget = false;
+    for (const int budget : preemption_budgets) {
+      PassState pass;
+      pass.budget = budget;
+      pass.fault_budget = faults_on ? fault_budget : 0;
+      pass.use_por = options.use_por;
+      pass.explore_crashes = faults_on && options.explore_crashes;
+      pass.explore_restarts = faults_on && options.explore_restarts;
+      pass.explore_sc = faults_on && options.explore_sc_failures;
+      for (;;) {
+        if (result.stats.schedules >= options.max_schedules) {
+          cap_hit = true;
           break;
         }
+        const RunOutcome outcome =
+            run_one(system, options, pass, result.stats, &fault_points);
+        if (outcome.violation.has_value()) {
+          Counterexample cex;
+          cex.system = system.name();
+          cex.processes = system.process_count();
+          cex.violation = *outcome.violation;
+          cex.decisions = outcome.decisions;
+          cex.shrunk_from = outcome.decisions.size();
+          if (options.minimize) {
+            cex = minimize_counterexample(system, std::move(cex), options,
+                                          &result.stats);
+          }
+          result.violations.push_back(std::move(cex));
+          if (options.stop_at_first_violation ||
+              result.violations.size() >= options.max_violations) {
+            stopped = true;
+            break;
+          }
+        }
+        if (!advance(pass)) break;
       }
-      if (!advance(pass)) break;
+      last_pass_budget_limited = pass.budget_limited;
+      fault_limited_at_this_budget = pass.fault_limited;
+      if (cap_hit || stopped) break;
+      if (!pass.budget_limited) break;  // space fully covered at this budget
     }
-    last_pass_budget_limited = pass.budget_limited;
     if (cap_hit || stopped) break;
-    if (!pass.budget_limited) break;  // space fully covered at this budget
+    // A fault budget that cut nothing covered the whole bounded-fault
+    // space; deeper fault budgets would only re-explore it.
+    if (!fault_limited_at_this_budget) break;
   }
 
+  result.stats.fault_points = fault_points.size();
   result.exhausted = !cap_hit && !stopped && !last_pass_budget_limited &&
                      result.stats.truncated == 0;
   return result;
@@ -402,6 +635,10 @@ std::string ExploreStats::summary() const {
       << " preemption-prunes=" << preemption_prunes
       << " truncated=" << truncated << " max-depth=" << max_depth_seen
       << " shrink-runs=" << shrink_runs;
+  if (faults_injected > 0 || fault_prunes > 0) {
+    out << " faults=" << faults_injected << " fault-points=" << fault_points
+        << " fault-prunes=" << fault_prunes;
+  }
   return out.str();
 }
 
@@ -412,8 +649,9 @@ std::string ExploreResult::summary() const {
     out << " no violations";
   } else {
     for (const auto& cex : violations) {
-      out << "\n  VIOLATION (" << cex.decisions.size() << " decisions, from "
-          << cex.shrunk_from << "): " << cex.violation;
+      out << "\n  VIOLATION (" << cex.decisions.size() << " decisions, "
+          << cex.fault_count() << " faults, from " << cex.shrunk_from
+          << "): " << cex.violation;
     }
   }
   return out.str();
@@ -425,13 +663,32 @@ std::string Counterexample::to_artifact() const {
   std::ostringstream out;
   std::string flat = violation;
   std::replace(flat.begin(), flat.end(), '\n', ' ');
-  out << "bss-counterexample v1\n";
+  // v1 (grants only) stays bit-for-bit the historical format; fault tapes
+  // need the v2 token syntax.
+  out << (fault_count() == 0 ? "bss-counterexample v1\n"
+                             : "bss-counterexample v2\n");
   out << "system: " << system << "\n";
   out << "processes: " << processes << "\n";
   out << "shrunk-from: " << shrunk_from << "\n";
   out << "violation: " << flat << "\n";
   out << "decisions:";
-  for (const int pid : decisions) out << ' ' << pid;
+  for (const int decision : decisions) {
+    const Action action = decode_action(decision);
+    switch (action.kind) {
+      case ActionKind::kGrant:
+        out << ' ' << action.pid;
+        break;
+      case ActionKind::kCrash:
+        out << " c" << action.pid;
+        break;
+      case ActionKind::kRestart:
+        out << " r" << action.pid;
+        break;
+      case ActionKind::kScFailure:
+        out << " s" << action.pid;
+        break;
+    }
+  }
   out << "\n";
   return out.str();
 }
@@ -440,7 +697,8 @@ std::optional<Counterexample> Counterexample::from_artifact(
     const std::string& text) {
   std::istringstream in(text);
   std::string line;
-  if (!std::getline(in, line) || line != "bss-counterexample v1") {
+  if (!std::getline(in, line) ||
+      (line != "bss-counterexample v1" && line != "bss-counterexample v2")) {
     return std::nullopt;
   }
   Counterexample cex;
@@ -461,9 +719,38 @@ std::optional<Counterexample> Counterexample::from_artifact(
     } else if (key == "violation") {
       cex.violation = value;
     } else if (key == "decisions") {
-      std::istringstream pids(value);
-      int pid = 0;
-      while (pids >> pid) cex.decisions.push_back(pid);
+      std::istringstream tokens(value);
+      std::string token;
+      while (tokens >> token) {
+        ActionKind kind = ActionKind::kGrant;
+        std::size_t offset = 0;
+        switch (token.front()) {
+          case 'c':
+            kind = ActionKind::kCrash;
+            offset = 1;
+            break;
+          case 'r':
+            kind = ActionKind::kRestart;
+            offset = 1;
+            break;
+          case 's':
+            kind = ActionKind::kScFailure;
+            offset = 1;
+            break;
+          default:
+            break;
+        }
+        int pid = 0;
+        try {
+          std::size_t used = 0;
+          pid = std::stoi(token.substr(offset), &used);
+          if (used != token.size() - offset) return std::nullopt;
+        } catch (const std::exception&) {
+          return std::nullopt;
+        }
+        if (pid < 0) return std::nullopt;
+        cex.decisions.push_back(encode_action(kind, pid));
+      }
       saw_decisions = true;
     } else {
       return std::nullopt;

@@ -24,11 +24,23 @@
 //    all properties invariant under commuting independent operations —
 //    which every trace/outcome property in this repository is.
 //
+//  * Fault bound — with `fault_bound >= 1`, fault injections become
+//    scheduler decisions too: fail-stop a parked process, crash-restart it
+//    (if it registered a restart hook), or fail its pending
+//    store-conditional spuriously.  Each injection consumes fault budget,
+//    mirroring the preemption bound, so exhaustive single- and double-fault
+//    sweeps terminate; `iterative` sweeps fault budgets 0..fault_bound
+//    outermost (fewest-fault refutation first).
+//
 // On a violation the explorer emits a Counterexample and greedily shrinks it
 // (ddmin-style chunk deletion over the decision tape, re-running each
 // candidate), then *canonicalizes* the survivor into the exact decision
-// sequence of its run — an artifact that ReplayScheduler re-executes
-// verbatim with zero divergences.
+// sequence of its run — an artifact that the replayer re-executes verbatim
+// with zero divergences.  Fault-free counterexamples serialize as
+// `bss-counterexample v1` (grants only, as always); tapes carrying fault
+// decisions serialize as `bss-counterexample v2`, whose decision list mixes
+// plain grants with `c<pid>` (crash), `r<pid>` (restart) and `s<pid>`
+// (spurious SC failure) tokens.  Both versions parse.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +52,38 @@
 #include "runtime/trace.h"
 
 namespace bss::explore {
+
+// ------------------------------------------------------------ decision tape
+//
+// A decision tape entry is either a plain grant (the pid, >= 0) or an
+// encoded fault action (< 0).  The encoding is dense so ddmin shrinking and
+// the artifact round-trip treat faults as ordinary tape entries.
+
+enum class ActionKind : int {
+  kGrant = 0,      ///< grant the pid one shared-memory step
+  kCrash = 1,      ///< fail-stop the pid (terminal)
+  kRestart = 2,    ///< crash-restart the pid (needs a restart hook)
+  kScFailure = 3,  ///< grant the pid's pending SC, forcing spurious failure
+};
+
+struct Action {
+  ActionKind kind = ActionKind::kGrant;
+  int pid = 0;
+};
+
+constexpr int encode_action(ActionKind kind, int pid) {
+  return kind == ActionKind::kGrant
+             ? pid
+             : -(pid * 3 + (static_cast<int>(kind) - 1)) - 1;
+}
+
+constexpr Action decode_action(int decision) {
+  if (decision >= 0) return Action{ActionKind::kGrant, decision};
+  const int index = -decision - 1;
+  return Action{static_cast<ActionKind>(index % 3 + 1), index / 3};
+}
+
+constexpr bool is_fault_action(int decision) { return decision < 0; }
 
 struct ExploreOptions {
   /// Kill any single schedule after this many steps (counted, not checked).
@@ -62,6 +106,20 @@ struct ExploreOptions {
   /// Record traces during exploration runs (needed only if check() reads
   /// env.trace(); off saves allocation in the hot loop).
   bool record_trace = false;
+  /// Maximum injected faults per schedule (crashes, restarts and spurious
+  /// SC failures combined).  0 disables fault exploration entirely — the
+  /// search space and results are then identical to the fault-free
+  /// explorer.  With `iterative`, fault budgets 0..fault_bound are swept
+  /// outermost, so the simplest (fewest-fault) refutation surfaces first.
+  int fault_bound = 0;
+  /// Offer fail-stop decisions at every parked process.
+  bool explore_crashes = true;
+  /// Offer crash-restart decisions (only at processes with restart hooks).
+  bool explore_restarts = true;
+  /// Offer spurious-failure decisions at pending store-conditionals (at
+  /// most one per process per schedule — the slack the LL/SC c&s adapter's
+  /// retry bound tolerates).
+  bool explore_sc_failures = false;
 };
 
 struct ExploreStats {
@@ -72,6 +130,11 @@ struct ExploreStats {
   std::uint64_t truncated = 0;         ///< schedules cut by max_depth
   std::uint64_t max_depth_seen = 0;    ///< longest schedule encountered
   std::uint64_t shrink_runs = 0;       ///< re-executions spent minimizing
+  std::uint64_t fault_prunes = 0;      ///< fault branches cut by the budget
+  std::uint64_t faults_injected = 0;   ///< fault decisions taken, all runs
+  /// Distinct fault sites covered: (action, victim's lifetime op count)
+  /// pairs — "every single-crash point" means every such pair was hit.
+  std::uint64_t fault_points = 0;
 
   std::string summary() const;
 };
@@ -84,10 +147,15 @@ struct Counterexample {
   std::string system;          ///< ExplorableSystem::name() of the target
   int processes = 0;
   std::string violation;       ///< check()'s description
-  std::vector<int> decisions;  ///< canonical replay tape
+  std::vector<int> decisions;  ///< canonical replay tape (grants + faults)
   std::size_t shrunk_from = 0; ///< decision count before minimization
 
+  /// Fault decisions on the tape; 0 means a schedule-only counterexample.
+  std::size_t fault_count() const;
+
   /// Plain-text artifact round-trip (README: "Reproducing a counterexample").
+  /// Emits `bss-counterexample v1` when the tape is fault-free (bit-for-bit
+  /// the historical format) and `v2` when it carries fault decisions.
   std::string to_artifact() const;
   static std::optional<Counterexample> from_artifact(const std::string& text);
 };
@@ -98,7 +166,9 @@ struct ExploreResult {
   /// True iff the schedule space was fully covered: no preemption-budget
   /// prune, no depth truncation, no schedule cap, exploration ran to
   /// completion.  With use_por the coverage is up to commutation
-  /// equivalence.
+  /// equivalence.  Fault-budget cuts do NOT clear this flag: the bounded
+  /// fault space (at most fault_bound injections) is the declared search
+  /// domain, and within it coverage is complete.
   bool exhausted = false;
 
   bool ok() const { return violations.empty(); }
@@ -113,14 +183,17 @@ ExploreResult explore(const ExplorableSystem& system,
 struct ReplayOutcome {
   bool violated = false;        ///< check() reported a violation again
   std::string violation;
-  std::uint64_t divergences = 0;  ///< ReplayScheduler departures from tape
+  std::uint64_t divergences = 0;  ///< replay departures from the tape
   bool truncated = false;         ///< hit ExploreOptions::max_depth
   sim::RunReport report;
 };
 
-/// Re-runs `system` under ReplayScheduler(cex.decisions) and re-checks the
-/// property.  A healthy minimized counterexample reproduces its violation
-/// with zero divergences.
+/// Re-runs `system` under cex.decisions — grants AND faults — and re-checks
+/// the property.  Tape entries that are not applicable in the current state
+/// are skipped (each counted as a divergence), and a tape that ends before
+/// the system quiesces is completed round-robin (also counted), exactly the
+/// ReplayScheduler contract.  A healthy minimized counterexample reproduces
+/// its violation with zero divergences.
 ReplayOutcome replay_counterexample(const ExplorableSystem& system,
                                     const Counterexample& cex,
                                     const ExploreOptions& options = {});

@@ -1,8 +1,11 @@
 // Load-link / store-conditional — the other top-of-hierarchy object the paper
 // names ("compare&swap, or load-link-store-conditional").  Bounded to k
-// values like CasRegisterK.  This is the idealized LL/SC (SC fails iff some
-// other store-conditional succeeded since this process's load-link; no
-// spurious failures).
+// values like CasRegisterK.  By default this is the idealized LL/SC (SC
+// fails iff some other store-conditional succeeded since this process's
+// load-link); a FaultPlan (fail_sc) or SimEnv::inject_sc_failure relaxes it
+// to the hardware-faithful variant where an individual SC may also fail
+// *spuriously* — reported as failure although nothing intervened and the
+// link stays intact.
 #pragma once
 
 #include <cstdint>
@@ -32,11 +35,14 @@ class LlScRegisterK {
   }
 
   /// store-conditional: writes iff no successful SC intervened since this
-  /// process's last LL.  Returns true on success.
+  /// process's last LL — unless the engine marked this SC as a spurious
+  /// failure, in which case it fails with the link left intact (a retry
+  /// after a fresh LL may succeed).  Returns true on success.
   bool store_conditional(Ctx& ctx, int next) {
     expects(next >= 0 && next < k_, "LL/SC store outside value domain");
     ctx.sync({name_, "sc", next, 0});
-    const bool ok = link(ctx.pid()) == version_;
+    const bool spurious = ctx.take_sc_failure();
+    const bool ok = !spurious && link(ctx.pid()) == version_;
     if (ok) {
       value_ = next;
       ++version_;

@@ -3,7 +3,8 @@
 namespace bss::sim {
 
 CrashPlan& CrashPlan::crash_before_op(int pid, std::uint64_t op_index) {
-  points_[pid] = op_index;
+  const auto [it, inserted] = points_.try_emplace(pid, op_index);
+  if (!inserted && op_index < it->second) it->second = op_index;
   return *this;
 }
 

@@ -20,7 +20,9 @@ class CrashPlan {
 
   /// Crash `pid` immediately before it performs its `op_index`-th (0-based)
   /// shared-memory operation.  op_index 0 means the process never takes a
-  /// shared step at all.
+  /// shared step at all.  Registering the same pid twice keeps the
+  /// *earliest* crash point: a fail-stop is terminal, so the first death
+  /// wins and later registrations cannot resurrect or delay it.
   CrashPlan& crash_before_op(int pid, std::uint64_t op_index);
 
   /// Randomized plan: each pid in [0, n) crashes with probability `p`, at a
@@ -33,6 +35,10 @@ class CrashPlan {
 
   bool empty() const { return points_.empty(); }
   std::size_t victim_count() const { return points_.size(); }
+
+  /// The registered crash points, pid -> op index to die before.  Used by
+  /// FaultPlan to lift a fail-stop-only plan into the general fault model.
+  const std::map<int, std::uint64_t>& points() const { return points_; }
 
  private:
   std::map<int, std::uint64_t> points_;  // pid -> op index to die before

@@ -22,6 +22,14 @@ int RunReport::crashed_count() const {
   return n;
 }
 
+int RunReport::restarted_count() const {
+  int n = 0;
+  for (const auto restarts : restarts_by_pid) {
+    if (restarts > 0) ++n;
+  }
+  return n;
+}
+
 bool RunReport::clean() const {
   if (step_limit_hit) return false;
   for (const auto outcome : outcomes) {
@@ -34,6 +42,7 @@ std::string RunReport::summary() const {
   std::ostringstream out;
   out << "steps=" << total_steps << " finished=" << finished_count()
       << " crashed=" << crashed_count();
+  if (restarted_count() > 0) out << " restarted=" << restarted_count();
   if (step_limit_hit) out << " STEP-LIMIT";
   for (std::size_t pid = 0; pid < outcomes.size(); ++pid) {
     if (outcomes[pid] == ProcOutcome::kFailed) {
@@ -63,6 +72,13 @@ std::int64_t Ctx::take_injection() {
   return value;
 }
 
+bool Ctx::take_sc_failure() {
+  bool& pending = env_->procs_[static_cast<std::size_t>(pid_)].sc_failure_pending;
+  const bool fail = pending;
+  pending = false;
+  return fail;
+}
+
 SimEnv::SimEnv(SimOptions options) : options_(options) {}
 
 SimEnv::~SimEnv() {
@@ -81,22 +97,58 @@ SimEnv::~SimEnv() {
 int SimEnv::add_process(std::function<void(Ctx&)> body) {
   expects(!ran_, "SimEnv::add_process after run()");
   bodies_.push_back(std::move(body));
+  restart_hooks_.emplace_back();  // no hook: restarts unsupported
   return checked_cast<int>(bodies_.size()) - 1;
+}
+
+int SimEnv::add_process(std::function<void(Ctx&)> body,
+                        std::function<void(Ctx&)> restart_hook) {
+  expects(!ran_, "SimEnv::add_process after run()");
+  expects(static_cast<bool>(restart_hook),
+          "add_process: restart hook must be callable");
+  bodies_.push_back(std::move(body));
+  restart_hooks_.push_back(std::move(restart_hook));
+  return checked_cast<int>(bodies_.size()) - 1;
+}
+
+bool SimEnv::restart_supported(int pid) const {
+  return static_cast<bool>(restart_hooks_[static_cast<std::size_t>(pid)]);
 }
 
 void SimEnv::thread_main(int pid) {
   Proc& proc = procs_[static_cast<std::size_t>(pid)];
-  try {
-    bodies_[static_cast<std::size_t>(pid)](*proc.ctx);
-    proc.outcome = ProcOutcome::kFinished;
-  } catch (const ProcessCrashed&) {
-    proc.outcome = ProcOutcome::kCrashed;
-  } catch (const std::exception& e) {
-    proc.outcome = ProcOutcome::kFailed;
-    proc.error = e.what();
-  } catch (...) {
-    proc.outcome = ProcOutcome::kFailed;
-    proc.error = "unknown exception";
+  for (;;) {
+    try {
+      if (proc.ctx->incarnation_ == 0) {
+        bodies_[static_cast<std::size_t>(pid)](*proc.ctx);
+      } else {
+        restart_hooks_[static_cast<std::size_t>(pid)](*proc.ctx);
+      }
+      proc.outcome = ProcOutcome::kFinished;
+    } catch (const ProcessCrashed&) {
+      if (proc.restart_requested) {
+        // Crash-restart: the unwound stack took every private local with
+        // it; shared registers persist untouched.  Re-enter through the
+        // restart hook — the engine is blocked on arrived_ until the new
+        // incarnation parks at its first shared operation (or finishes),
+        // so the re-entry stays serialized like the initial launch.
+        proc.restart_requested = false;
+        proc.crash_requested = false;
+        proc.injection.reset();
+        proc.sc_failure_pending = false;
+        ++proc.ctx->incarnation_;
+        ++proc.restarts;
+        continue;
+      }
+      proc.outcome = ProcOutcome::kCrashed;
+    } catch (const std::exception& e) {
+      proc.outcome = ProcOutcome::kFailed;
+      proc.error = e.what();
+    } catch (...) {
+      proc.outcome = ProcOutcome::kFailed;
+      proc.error = "unknown exception";
+    }
+    break;
   }
   proc.state = State::kDone;
   arrived_.release();
@@ -111,23 +163,31 @@ void SimEnv::park(int pid, OpDesc desc) {
   if (proc.crash_requested) throw ProcessCrashed{};
 }
 
-void SimEnv::start() {
-  expects(!ran_ && !started_, "SimEnv::start conflicts with a previous run");
-  started_ = true;
+void SimEnv::launch() {
   const int n = process_count();
-  expects(n > 0, "SimEnv::start with no processes");
+  expects(n > 0, "SimEnv started with no processes");
   procs_.resize(static_cast<std::size_t>(n));
   for (int pid = 0; pid < n; ++pid) {
     Proc& proc = procs_[static_cast<std::size_t>(pid)];
     proc.ctx = std::unique_ptr<Ctx>(new Ctx(this, pid));
     proc.go = std::make_unique<std::binary_semaphore>(0);
   }
-  // Serialized launch; see the note in run().
+  // Launch only after procs_ is fully built (threads index into it), and one
+  // at a time: each process runs to its first sync point (or completion)
+  // before the next starts, so body code ahead of the first shared operation
+  // never executes concurrently — objects may touch shared state anywhere
+  // inside an operation's implementation.
   for (int pid = 0; pid < n; ++pid) {
     procs_[static_cast<std::size_t>(pid)].thread =
         std::thread([this, pid] { thread_main(pid); });
     arrived_.acquire();
   }
+}
+
+void SimEnv::start() {
+  expects(!ran_ && !started_, "SimEnv::start conflicts with a previous run");
+  started_ = true;
+  launch();
 }
 
 bool SimEnv::is_parked(int pid) const {
@@ -186,6 +246,48 @@ void SimEnv::kill_process(int pid) {
   arrived_.acquire();
 }
 
+void SimEnv::restart_process(int pid) {
+  Proc& proc = procs_[static_cast<std::size_t>(pid)];
+  expects(proc.state == State::kReady, "restart_process: process is not parked");
+  expects(restart_supported(pid), "restart_process: process has no restart hook");
+  proc.restart_requested = true;
+  proc.crash_requested = true;
+  proc.go->release();
+  arrived_.acquire();  // the restarted incarnation parked (or finished)
+}
+
+void SimEnv::inject_sc_failure(int pid) {
+  Proc& proc = procs_[static_cast<std::size_t>(pid)];
+  expects(proc.state == State::kReady,
+          "inject_sc_failure: process is not parked");
+  expects(proc.pending.op == "sc",
+          "inject_sc_failure: pending operation is not a store-conditional");
+  proc.sc_failure_pending = true;
+}
+
+std::uint64_t SimEnv::steps_of(int pid) const {
+  return procs_[static_cast<std::size_t>(pid)].ctx->steps_taken();
+}
+
+RunReport SimEnv::snapshot_report() const {
+  const int n = process_count();
+  RunReport report;
+  report.total_steps = step_;
+  report.outcomes.resize(static_cast<std::size_t>(n));
+  report.errors.resize(static_cast<std::size_t>(n));
+  report.steps_by_pid.resize(static_cast<std::size_t>(n));
+  report.restarts_by_pid.resize(static_cast<std::size_t>(n));
+  for (int pid = 0; pid < n; ++pid) {
+    const Proc& proc = procs_[static_cast<std::size_t>(pid)];
+    report.outcomes[static_cast<std::size_t>(pid)] = proc.outcome;
+    report.errors[static_cast<std::size_t>(pid)] = proc.error;
+    report.steps_by_pid[static_cast<std::size_t>(pid)] =
+        proc.ctx ? proc.ctx->steps_taken() : 0;
+    report.restarts_by_pid[static_cast<std::size_t>(pid)] = proc.restarts;
+  }
+  return report;
+}
+
 void SimEnv::finish() {
   if (!started_ || finished_) return;
   finished_ = true;
@@ -195,28 +297,12 @@ void SimEnv::finish() {
   }
 }
 
-RunReport SimEnv::run(Scheduler& scheduler, const CrashPlan& crashes) {
+RunReport SimEnv::run(Scheduler& scheduler, const FaultPlan& faults) {
   expects(!ran_ && !started_, "SimEnv::run may be called once");
   ran_ = true;
   const int n = process_count();
   expects(n > 0, "SimEnv::run with no processes");
-
-  procs_.resize(static_cast<std::size_t>(n));
-  for (int pid = 0; pid < n; ++pid) {
-    Proc& proc = procs_[static_cast<std::size_t>(pid)];
-    proc.ctx = std::unique_ptr<Ctx>(new Ctx(this, pid));
-    proc.go = std::make_unique<std::binary_semaphore>(0);
-  }
-  // Launch only after procs_ is fully built (threads index into it), and one
-  // at a time: each process runs to its first sync point (or completion)
-  // before the next starts, so body code ahead of the first shared operation
-  // never executes concurrently — objects may touch shared state anywhere
-  // inside an operation's implementation.
-  for (int pid = 0; pid < n; ++pid) {
-    procs_[static_cast<std::size_t>(pid)].thread =
-        std::thread([this, pid] { thread_main(pid); });
-    arrived_.acquire();
-  }
+  launch();
 
   std::vector<ProcView> views(static_cast<std::size_t>(n));
   const auto refresh_view = [&](int pid) {
@@ -236,16 +322,43 @@ RunReport SimEnv::run(Scheduler& scheduler, const CrashPlan& crashes) {
     arrived_.acquire();  // thread unwinds, marks kDone, re-releases
     refresh_view(pid);
   };
+  const auto restart = [&](int pid) {
+    Proc& proc = procs_[static_cast<std::size_t>(pid)];
+    expects(restart_supported(pid),
+            "fault plan restarts a process without a restart hook");
+    proc.restart_requested = true;
+    proc.crash_requested = true;
+    proc.go->release();
+    arrived_.acquire();  // the restarted incarnation parked (or finished)
+    refresh_view(pid);
+  };
+
+  // Per-pid cursor into the (sorted) fault event list, and count of granted
+  // store-conditionals (the coordinate fail_sc addresses).
+  std::vector<std::size_t> fault_cursor(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint64_t> sc_granted(static_cast<std::size_t>(n), 0);
 
   RunReport report;
   bool limit_hit = false;
   for (;;) {
-    // Apply the crash plan to every parked process first.
+    // Apply due fault events to every parked process first.  A restart
+    // leaves the process parked again (at its new first operation) with its
+    // lifetime step count intact, so several due events fire back-to-back.
     for (int pid = 0; pid < n; ++pid) {
-      const Proc& proc = procs_[static_cast<std::size_t>(pid)];
-      if (proc.state == State::kReady &&
-          crashes.should_crash(pid, proc.ctx->steps_taken())) {
-        kill(pid);
+      for (;;) {
+        const Proc& proc = procs_[static_cast<std::size_t>(pid)];
+        if (proc.state != State::kReady) break;
+        const auto& events = faults.events_for(pid);
+        if (fault_cursor[static_cast<std::size_t>(pid)] >= events.size()) break;
+        const FaultEvent& event =
+            events[fault_cursor[static_cast<std::size_t>(pid)]];
+        if (proc.ctx->steps_taken() < event.op_index) break;
+        ++fault_cursor[static_cast<std::size_t>(pid)];
+        if (event.kind == FaultKind::kCrash) {
+          kill(pid);
+        } else {
+          restart(pid);
+        }
       }
     }
     std::vector<int> runnable;
@@ -270,10 +383,15 @@ RunReport SimEnv::run(Scheduler& scheduler, const CrashPlan& crashes) {
 
     Proc& proc = procs_[static_cast<std::size_t>(pid)];
     const OpDesc granted = proc.pending;
+    if (granted.op == "sc" &&
+        faults.should_fail_sc(pid, sc_granted[static_cast<std::size_t>(pid)]++)) {
+      proc.sc_failure_pending = true;
+    }
     proc.last_result.reset();
     proc.state = State::kRunning;
     proc.go->release();
     arrived_.acquire();  // the process parked again or finished
+    proc.sc_failure_pending = false;  // a fault the op did not consume lapses
 
     if (options_.record_trace) {
       TraceEvent event;
@@ -292,28 +410,18 @@ RunReport SimEnv::run(Scheduler& scheduler, const CrashPlan& crashes) {
 
   for (auto& proc : procs_) proc.thread.join();
 
-  report.total_steps = step_;
+  report = snapshot_report();
   report.step_limit_hit = limit_hit;
-  report.outcomes.resize(static_cast<std::size_t>(n));
-  report.errors.resize(static_cast<std::size_t>(n));
-  report.steps_by_pid.resize(static_cast<std::size_t>(n));
-  for (int pid = 0; pid < n; ++pid) {
-    const Proc& proc = procs_[static_cast<std::size_t>(pid)];
-    report.outcomes[static_cast<std::size_t>(pid)] = proc.outcome;
-    report.errors[static_cast<std::size_t>(pid)] = proc.error;
-    report.steps_by_pid[static_cast<std::size_t>(pid)] =
-        proc.ctx->steps_taken();
-  }
   return report;
 }
 
 RunReport run_system(
     int n, const std::function<std::function<void(Ctx&)>(int)>& make_body,
-    Scheduler& scheduler, Trace* trace_out, const CrashPlan& crashes,
+    Scheduler& scheduler, Trace* trace_out, const FaultPlan& faults,
     SimOptions options, std::vector<int>* decisions_out) {
   SimEnv env(options);
   for (int pid = 0; pid < n; ++pid) env.add_process(make_body(pid));
-  RunReport report = env.run(scheduler, crashes);
+  RunReport report = env.run(scheduler, faults);
   if (trace_out != nullptr) *trace_out = env.trace();
   if (decisions_out != nullptr) *decisions_out = env.decisions();
   return report;

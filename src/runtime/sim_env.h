@@ -9,8 +9,16 @@
 // the atomic-register/atomic-RMW model of Afek & Stupp (and Herlihy [10]).
 //
 // Determinism: the execution is a pure function of (process bodies, scheduler
-// decisions, crash plan).  Schedulers are replayable, so every run in this
+// decisions, fault plan).  Schedulers are replayable, so every run in this
 // repository can be reproduced from a seed.
+//
+// Fault model: run() takes a FaultPlan (fault_plan.h).  Fail-stop kills a
+// parked process for good; crash-*restart* unwinds it (all private state —
+// locals, program counter, the in-flight operation — is lost, shared
+// registers persist) and re-enters its program through the restart hook
+// registered with the two-argument add_process overload.  Spurious
+// store-conditional failures are delivered to the LL/SC object through
+// Ctx::take_sc_failure.
 //
 // Implementation: each process runs on its own std::thread but is gated by a
 // binary semaphore; the engine holds a counting semaphore that each process
@@ -28,7 +36,7 @@
 #include <thread>
 #include <vector>
 
-#include "runtime/crash_plan.h"
+#include "runtime/fault_plan.h"
 #include "runtime/scheduler.h"
 #include "runtime/trace.h"
 
@@ -45,6 +53,10 @@ class Ctx {
  public:
   int pid() const { return pid_; }
   std::uint64_t steps_taken() const { return steps_taken_; }
+  /// 0 for the initial execution, +1 per crash-restart.  Survives restarts
+  /// (it lives in the engine, not on the process's stack), so recovery code
+  /// — and recovery *mutants* — can tell re-entries apart.
+  int incarnation() const { return incarnation_; }
   /// Global step counter at the moment of the call — timestamps for interval
   /// histories (runtime/linearizability.h).  Stable while this process runs.
   std::uint64_t global_step() const;
@@ -64,13 +76,20 @@ class Ctx {
   /// injected.
   std::int64_t take_injection();
 
+  /// True iff the operation granted by the last sync() was marked as a
+  /// spurious store-conditional failure (FaultPlan::fail_sc or
+  /// SimEnv::inject_sc_failure).  Consuming clears the mark; the LL/SC
+  /// object calls this once per SC.
+  bool take_sc_failure();
+
  private:
   friend class SimEnv;
   Ctx(SimEnv* env, int pid) : env_(env), pid_(pid) {}
 
   SimEnv* env_;
   int pid_;
-  std::uint64_t steps_taken_ = 0;
+  std::uint64_t steps_taken_ = 0;  // lifetime count; NOT reset by restarts
+  int incarnation_ = 0;
 };
 
 enum class ProcOutcome {
@@ -86,9 +105,12 @@ struct RunReport {
   std::vector<ProcOutcome> outcomes;       // indexed by pid
   std::vector<std::string> errors;         // non-empty for kFailed pids
   std::vector<std::uint64_t> steps_by_pid;
+  std::vector<int> restarts_by_pid;        // crash-restarts survived, by pid
 
   int finished_count() const;
   int crashed_count() const;
+  /// Processes that survived at least one crash-restart.
+  int restarted_count() const;
   /// True iff no process failed with an exception and the step limit held.
   bool clean() const;
   std::string summary() const;
@@ -111,11 +133,23 @@ class SimEnv {
   /// Bodies receive their Ctx and may capture shared objects by reference.
   int add_process(std::function<void(Ctx&)> body);
 
+  /// Registers a crash-*restartable* process: after a restart fault, the
+  /// process is re-entered through `restart_hook` (every local of the
+  /// unwound body is gone; shared registers persist).  Recovery-safe
+  /// programs simply pass their body again — recovery must be derivable
+  /// from shared state plus the process's immutable inputs.
+  int add_process(std::function<void(Ctx&)> body,
+                  std::function<void(Ctx&)> restart_hook);
+
+  /// True iff `pid` was registered with a restart hook.
+  bool restart_supported(int pid) const;
+
   int process_count() const { return static_cast<int>(bodies_.size()); }
 
   /// Executes the system to quiescence (all processes finished/crashed) or
   /// to the step limit.  May be called exactly once (and not after start()).
-  RunReport run(Scheduler& scheduler, const CrashPlan& crashes = {});
+  /// CrashPlan call sites keep working through the implicit FaultPlan lift.
+  RunReport run(Scheduler& scheduler, const FaultPlan& faults = {});
 
   // --- Incremental mode (used by the Section 3 emulation driver) ---
   // start() launches the processes up to their first sync point; the caller
@@ -137,7 +171,22 @@ class SimEnv {
   /// Grants `pid` exactly one operation; returns the completed trace event.
   TraceEvent step_process(int pid);
   void kill_process(int pid);
+  /// Crash-restarts a parked process: its pending operation is ABANDONED
+  /// (never performed), its stack unwinds, and it re-enters via its restart
+  /// hook, parking at the hook's first shared operation (or finishing).
+  /// Requires restart_supported(pid).
+  void restart_process(int pid);
+  /// Marks the pending store-conditional of a parked process so that its
+  /// next step fails spuriously.  Requires pending_of(pid).op == "sc".
+  void inject_sc_failure(int pid);
+  /// Lifetime shared-operation count of `pid` (the fault-point coordinate).
+  std::uint64_t steps_of(int pid) const;
   void finish();
+
+  /// Builds a RunReport from the current process states.  Meaningful once
+  /// every process is parked or finished (e.g. after finish()); the caller
+  /// sets step_limit_hit, which incremental mode does not track.
+  RunReport snapshot_report() const;
 
   const Trace& trace() const { return trace_; }
   /// Scheduler decisions made during run(), for ReplayScheduler.
@@ -160,6 +209,9 @@ class SimEnv {
     std::thread thread;
     State state = State::kCreated;
     bool crash_requested = false;
+    bool restart_requested = false;   // with crash_requested: unwind + re-enter
+    bool sc_failure_pending = false;  // next SC step fails spuriously
+    int restarts = 0;
     OpDesc pending;
     std::optional<std::int64_t> last_result;
     std::optional<std::int64_t> injection;
@@ -170,9 +222,11 @@ class SimEnv {
   void thread_main(int pid);
   // Ctx::sync body: park the calling process and hand control to the engine.
   void park(int pid, OpDesc desc);
+  void launch();  // build procs_ and serially start the threads
 
   SimOptions options_;
   std::vector<std::function<void(Ctx&)>> bodies_;
+  std::vector<std::function<void(Ctx&)>> restart_hooks_;  // empty = fail-stop only
   std::vector<Proc> procs_;
   std::counting_semaphore<> arrived_{0};
   Trace trace_;
@@ -193,7 +247,7 @@ class SimEnv {
 /// replay or shrinking.
 RunReport run_system(int n, const std::function<std::function<void(Ctx&)>(int)>& make_body,
                      Scheduler& scheduler, Trace* trace_out = nullptr,
-                     const CrashPlan& crashes = {}, SimOptions options = {},
+                     const FaultPlan& faults = {}, SimOptions options = {},
                      std::vector<int>* decisions_out = nullptr);
 
 }  // namespace bss::sim

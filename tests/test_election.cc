@@ -628,6 +628,25 @@ TEST(ComposedElection, SurvivorsAgreeUnderCrashes) {
   }
 }
 
+TEST(ComposedElection, CrashStormAtEveryDepth) {
+  // Deaths at every small depth must leave all stages of the composition
+  // consistent: a process can die between winning stage i and entering
+  // stage i+1, the classic partial-progress window.
+  const int k = 4;
+  const int copies = 2;
+  const int n = 36;
+  for (std::uint64_t t = 0; t < 12; ++t) {
+    CrashPlan crashes;
+    for (int pid = 0; pid < n; pid += 3) crashes.crash_before_op(pid, t);
+    RandomScheduler scheduler(t * 23 + 9);
+    const ComposedElectionReport report =
+        run_composed_election(k, copies, n, scheduler, crashes);
+    EXPECT_TRUE(report.consistent) << "t=" << t;
+    EXPECT_TRUE(report.valid) << "t=" << t;
+    EXPECT_GT(report.run.finished_count(), 0) << "t=" << t;
+  }
+}
+
 TEST(ComposedElection, SharedDigitSlotsAreSafe) {
   // n > (k-1)!: several processes share a digit slot in every stage; the
   // same-value announce discipline keeps the stages sound.
@@ -680,6 +699,23 @@ TEST(LlScElectionCrash, SurvivorsDecide) {
         EXPECT_TRUE(report.outcomes[static_cast<std::size_t>(pid)].has_value());
       }
     }
+  }
+}
+
+TEST(LlScElectionCrash, CrashStormAtEveryDepth) {
+  // Mirror of ElectionCrash.CrashStormAtEveryDepth on the LL/SC extension:
+  // a third of the processes die before op t, for every small t.
+  const int k = 5;
+  const int n = 24;
+  for (std::uint64_t t = 0; t < 12; ++t) {
+    CrashPlan crashes;
+    for (int pid = 0; pid < n; pid += 3) crashes.crash_before_op(pid, t);
+    RandomScheduler scheduler(t * 19 + 5);
+    const LlScElectionReport report =
+        run_llsc_election(k, n, scheduler, crashes);
+    EXPECT_TRUE(report.consistent) << "t=" << t;
+    EXPECT_TRUE(report.valid) << "t=" << t;
+    EXPECT_GT(report.run.finished_count(), 0) << "t=" << t;
   }
 }
 
