@@ -10,6 +10,7 @@
 // with n (the helping scans) — bounded synchronization, unbounded gossip.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string_view>
 #include <vector>
 
@@ -130,7 +131,9 @@ BENCHMARK(BM_OneShotElection)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
 
 // Hand-rolled main instead of BENCHMARK_MAIN(): `--json` is sugar for
 // google-benchmark's JSON reporter, so every bench binary in this repo
-// shares one machine-readable flag (EXPERIMENTS.md).
+// shares one machine-readable flag (EXPERIMENTS.md).  Flags are accepted in
+// any position; anything neither we nor google-benchmark recognize gets a
+// usage message instead of being silently ignored.
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   static char json_flag[] = "--benchmark_format=json";
@@ -140,6 +143,10 @@ int main(int argc, char** argv) {
   int args_count = bss::checked_cast<int>(args.size());
   benchmark::Initialize(&args_count, args.data());
   if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    std::fprintf(stderr,
+                 "usage: %s [--json] [google-benchmark flags]\n"
+                 "  --json   shorthand for --benchmark_format=json\n",
+                 argv[0]);
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();

@@ -7,13 +7,22 @@
 // sleep sets never had to run).  The LL/SC rows also show Chess-style
 // iterative preemption bounding at small budgets.
 //
-// `--json` prints the same rows as a JSON array instead of the table.
+// The parallel-scaling section runs the mutant-refutation workload (every
+// seeded mutant explored exhaustively, collecting all violations) at
+// --jobs N against the serial baseline, checks the deterministic-merge
+// invariant on the spot (identical schedules totals and identical violation
+// tapes), and replays a minimized artifact produced under the worker pool.
+//
+// `--json` prints the same rows as a JSON array instead of the tables;
+// `--jobs N` sets the explorer worker count (results are identical for
+// every N — only the rate moves).
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench_flags.h"
+#include "core/mutant_elections.h"
 #include "explore/election_systems.h"
 #include "explore/explore.h"
 
@@ -63,8 +72,7 @@ void print_table(const std::vector<Row>& rows) {
   }
 }
 
-void print_json(const std::vector<Row>& rows) {
-  std::printf("[\n");
+void print_json(const std::vector<Row>& rows, bool more) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& stats = rows[i].result.stats;
     std::printf(
@@ -77,40 +85,185 @@ void print_json(const std::vector<Row>& rows) {
         static_cast<unsigned long long>(stats.sleep_set_prunes),
         static_cast<unsigned long long>(stats.preemption_prunes),
         rows[i].result.exhausted ? "true" : "false",
-        i + 1 < rows.size() ? "," : "");
+        more || i + 1 < rows.size() ? "," : "");
   }
-  std::printf("]\n");
+}
+
+// ----------------------------------------------------- parallel scaling
+
+/// The mutant-refutation workload: every seeded mutant, explored
+/// exhaustively under naive DFS (all violations collected, no minimization
+/// — the cost being measured is schedule-space traversal, not ddmin; POR is
+/// off so the space is large enough for the worker pool to bite).
+ExploreOptions refutation_options(int jobs) {
+  ExploreOptions options;
+  options.use_por = false;
+  options.stop_at_first_violation = false;
+  options.max_violations = std::size_t{1} << 20;
+  options.minimize = false;
+  options.jobs = jobs;
+  return options;
+}
+
+struct ScaleRow {
+  std::string label;
+  int jobs = 1;
+  double seconds = 0;
+  std::uint64_t schedules = 0;
+  std::size_t violations = 0;
+  bool identical = true;  ///< vs the jobs=1 baseline of the same workload
+};
+
+/// True iff the two results are byte-identical where it matters: schedule
+/// totals, violation count, and every violation's decision tape.
+bool results_match(const ExploreResult& a, const ExploreResult& b) {
+  if (a.stats.schedules != b.stats.schedules ||
+      a.stats.transitions != b.stats.transitions ||
+      a.exhausted != b.exhausted ||
+      a.violations.size() != b.violations.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.violations.size(); ++i) {
+    if (a.violations[i].decisions != b.violations[i].decisions) return false;
+  }
+  return true;
+}
+
+std::vector<ScaleRow> run_scaling(int jobs) {
+  // Register-based mutants only: they stay memory-safe when exploration
+  // continues past a violation (the sc-blind LL/SC mutant does not — a
+  // corrupted slot value indexes out of bounds on deep violating paths).
+  bss::explore::OneShotSystem claim_after(
+      4, 3, bss::core::OneShotMutant::kClaimAfterCas);
+  bss::explore::OneShotSystem split_cas(4, 3,
+                                        bss::core::OneShotMutant::kSplitCas);
+  const std::vector<const ExplorableSystem*> mutants = {&claim_after,
+                                                        &split_cas};
+
+  std::vector<ScaleRow> rows;
+  std::vector<int> worker_counts = {1};
+  if (jobs > 1) worker_counts.push_back(jobs);
+  std::vector<ExploreResult> baseline;
+  for (const int j : worker_counts) {
+    ScaleRow row;
+    row.label = "mutant-refutation";
+    row.jobs = j;
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<ExploreResult> results;
+    for (const ExplorableSystem* system : mutants) {
+      results.push_back(
+          bss::explore::explore(*system, refutation_options(j)));
+    }
+    row.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      row.schedules += results[i].stats.schedules;
+      row.violations += results[i].violations.size();
+      if (!baseline.empty() && !results_match(results[i], baseline[i])) {
+        row.identical = false;
+      }
+    }
+    if (baseline.empty()) baseline = std::move(results);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_scaling_table(const std::vector<ScaleRow>& rows) {
+  std::printf("\n%-24s %5s %9s %10s %10s %8s %s\n", "workload", "jobs",
+              "schedules", "violations", "sched/s", "speedup", "identical");
+  const double base_rate =
+      rows[0].seconds > 0
+          ? static_cast<double>(rows[0].schedules) / rows[0].seconds
+          : 0;
+  for (const ScaleRow& row : rows) {
+    const double rate =
+        row.seconds > 0 ? static_cast<double>(row.schedules) / row.seconds
+                        : 0;
+    std::printf("%-24s %5d %9llu %10zu %10.0f %7.2fx %s\n", row.label.c_str(),
+                row.jobs, static_cast<unsigned long long>(row.schedules),
+                row.violations, rate, base_rate > 0 ? rate / base_rate : 0,
+                row.identical ? "yes" : "NO");
+  }
+}
+
+void print_scaling_json(const std::vector<ScaleRow>& rows, bool more) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ScaleRow& row = rows[i];
+    const double rate =
+        row.seconds > 0 ? static_cast<double>(row.schedules) / row.seconds
+                        : 0;
+    std::printf(
+        "  {\"workload\": \"%s\", \"jobs\": %d, \"schedules\": %llu, "
+        "\"violations\": %zu, \"schedules_per_sec\": %.0f, "
+        "\"identical\": %s}%s\n",
+        row.label.c_str(), row.jobs,
+        static_cast<unsigned long long>(row.schedules), row.violations, rate,
+        row.identical ? "true" : "false",
+        more || i + 1 < rows.size() ? "," : "");
+  }
+}
+
+/// Minimized-artifact check under the worker pool: refute one mutant with
+/// defaults (minimize on) at --jobs workers, then replay the artifact.
+/// Returns the divergence count (0 is the only healthy answer).
+std::uint64_t artifact_replay_divergences(int jobs) {
+  bss::explore::OneShotSystem mutant(4, 3,
+                                     bss::core::OneShotMutant::kClaimAfterCas);
+  ExploreOptions options;
+  options.jobs = jobs;
+  const ExploreResult result = bss::explore::explore(mutant, options);
+  if (result.violations.empty()) return ~std::uint64_t{0};
+  const auto replay =
+      bss::explore::replay_counterexample(mutant, result.violations.front());
+  return replay.violated ? replay.divergences : ~std::uint64_t{0};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool json =
-      argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  const bss::bench::BenchFlags flags =
+      bss::bench::parse_flags(argc, argv, /*accepts_jobs=*/true);
   std::vector<Row> rows;
 
   {
     bss::explore::OneShotSystem system(4, 3);
     ExploreOptions naive;
     naive.use_por = false;
+    naive.jobs = flags.jobs;
     rows.push_back(timed_explore("one_shot[n=3] naive", system, naive));
-    rows.push_back(timed_explore("one_shot[n=3] POR", system, {}));
+    ExploreOptions por;
+    por.jobs = flags.jobs;
+    rows.push_back(timed_explore("one_shot[n=3] POR", system, por));
   }
 
   {
     bss::explore::LlScSystem system(3, 2);
-    rows.push_back(timed_explore("llsc[k=3,n=2] POR", system, {}));
+    ExploreOptions por;
+    por.jobs = flags.jobs;
+    rows.push_back(timed_explore("llsc[k=3,n=2] POR", system, por));
     for (int bound = 0; bound <= 2; ++bound) {
       ExploreOptions options;
       options.preemption_bound = bound;
+      options.jobs = flags.jobs;
       rows.push_back(timed_explore(
           "llsc[k=3,n=2] POR b=" + std::to_string(bound), system, options));
     }
   }
 
-  if (json) {
-    print_json(rows);
-    return 0;
+  const std::vector<ScaleRow> scaling = run_scaling(flags.jobs);
+  const std::uint64_t divergences = artifact_replay_divergences(flags.jobs);
+
+  if (flags.json) {
+    std::printf("[\n");
+    print_json(rows, /*more=*/true);
+    print_scaling_json(scaling, /*more=*/true);
+    std::printf("  {\"workload\": \"artifact-replay\", \"jobs\": %d, "
+                "\"divergences\": %llu}\n",
+                flags.jobs, static_cast<unsigned long long>(divergences));
+    std::printf("]\n");
+    return divergences == 0 ? 0 : 1;
   }
   print_table(rows);
   const double ratio = 1.0 - static_cast<double>(rows[1].result.stats.schedules) /
@@ -119,5 +272,8 @@ int main(int argc, char** argv) {
               100.0 * ratio,
               static_cast<unsigned long long>(rows[0].result.stats.schedules),
               static_cast<unsigned long long>(rows[1].result.stats.schedules));
-  return 0;
+  print_scaling_table(scaling);
+  std::printf("  minimized artifact replay at --jobs %d: %llu divergences\n",
+              flags.jobs, static_cast<unsigned long long>(divergences));
+  return divergences == 0 ? 0 : 1;
 }

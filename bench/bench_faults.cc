@@ -15,13 +15,15 @@
 //     elections per second under FaultPlan::random — the price of restarts
 //     (re-executed prefixes) relative to the fault-free baseline.
 //
-// `--json` prints the same rows as a JSON array instead of the tables.
+// `--json` prints the same rows as a JSON array instead of the tables;
+// `--jobs N` runs the fault sweeps on N explorer workers (identical
+// results, sweep rates scale with cores).
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench_flags.h"
 #include "core/recoverable_election.h"
 #include "explore/election_systems.h"
 #include "explore/explore.h"
@@ -145,7 +147,9 @@ void print_json(const std::vector<ExploreRow>& sweeps,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  const bss::bench::BenchFlags flags =
+      bss::bench::parse_flags(argc, argv, /*accepts_jobs=*/true);
+  const bool json = flags.json;
 
   std::vector<ExploreRow> sweeps;
   {
@@ -155,6 +159,7 @@ int main(int argc, char** argv) {
       ExploreOptions options;
       options.fault_bound = fb;
       options.iterative = true;
+      options.jobs = flags.jobs;
       sweeps.push_back(timed_explore(
           "one_shot[n=2,restartable] fb=" + std::to_string(fb), system,
           options));
@@ -166,6 +171,7 @@ int main(int argc, char** argv) {
     crash_only.fault_bound = 1;
     crash_only.iterative = true;
     crash_only.explore_restarts = false;
+    crash_only.jobs = flags.jobs;
     sweeps.push_back(
         timed_explore("rfvt[k=3,n=2] crashes fb=1", system, crash_only));
     ExploreOptions restarts;
@@ -173,6 +179,7 @@ int main(int argc, char** argv) {
     restarts.iterative = true;
     restarts.explore_crashes = false;
     restarts.preemption_bound = 1;
+    restarts.jobs = flags.jobs;
     sweeps.push_back(
         timed_explore("rfvt[k=3,n=2] restarts fb=1 b=1", system, restarts));
   }

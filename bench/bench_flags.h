@@ -1,0 +1,67 @@
+// Shared command-line parsing for the table-shaped bench binaries
+// (bench_explore, bench_faults, …): flags are accepted in any position,
+// unknown arguments get a usage message instead of being silently ignored.
+// (The google-benchmark binaries keep benchmark's own flag handling and only
+// borrow the `--json` spelling.)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace bss::bench {
+
+struct BenchFlags {
+  bool json = false;  ///< machine-readable output instead of the table
+  int jobs = 1;       ///< explorer worker threads (ExploreOptions::jobs)
+};
+
+inline void print_usage(const char* program, bool accepts_jobs) {
+  std::fprintf(stderr, "usage: %s [--json]%s\n", program,
+               accepts_jobs ? " [--jobs N]" : "");
+  std::fprintf(stderr, "  --json     print rows as a JSON array\n");
+  if (accepts_jobs) {
+    std::fprintf(stderr,
+                 "  --jobs N   explorer worker threads (default 1; results "
+                 "are identical for every N)\n");
+  }
+}
+
+/// Parses [--json] [--jobs N] anywhere on the command line.  Exits with
+/// status 2 (after printing usage) on unknown arguments, missing or
+/// malformed values; exits 0 on --help.
+inline BenchFlags parse_flags(int argc, char** argv, bool accepts_jobs) {
+  BenchFlags flags;
+  const auto fail = [&]() {
+    print_usage(argv[0], accepts_jobs);
+    std::exit(2);
+  };
+  const auto parse_jobs = [&](const char* value) {
+    char* end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || parsed < 1 || parsed > 64) fail();
+    flags.jobs = static_cast<int>(parsed);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      flags.json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0], accepts_jobs);
+      std::exit(0);
+    } else if (accepts_jobs && arg == "--jobs") {
+      if (i + 1 >= argc) fail();
+      parse_jobs(argv[++i]);
+    } else if (accepts_jobs && arg.rfind("--jobs=", 0) == 0) {
+      parse_jobs(arg.c_str() + std::strlen("--jobs="));
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
+                   arg.c_str());
+      fail();
+    }
+  }
+  return flags;
+}
+
+}  // namespace bss::bench

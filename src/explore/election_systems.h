@@ -2,6 +2,11 @@
 // election algorithms (and their deliberately-buggy mutants) to the
 // ExplorableSystem interface, so the schedule explorer can quantify over
 // every interleaving instead of the five hand-written adversaries.
+//
+// Every factory here is thread-safe (the parallel explorer calls make()
+// concurrently from its workers): construction fixes an immutable (k, n,
+// mutant/behavior) configuration and make() only reads it, allocating all
+// per-run state inside the fresh instance.
 #pragma once
 
 #include <memory>

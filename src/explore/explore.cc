@@ -1,10 +1,15 @@
 #include "explore/explore.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
 #include <limits>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "runtime/sim_env.h"
@@ -58,8 +63,66 @@ struct PassState {
   bool explore_crashes = false;
   bool explore_restarts = false;
   bool explore_sc = false;
-  bool budget_limited = false;  ///< some branch was cut by the preemption budget
-  bool fault_limited = false;   ///< some branch was cut by the fault budget
+  /// Subtree floor: advance() never backtracks below this many frames.  0
+  /// for the serial walk and the job enumerator; a worker exploring a
+  /// sharded subtree sets it to its prefix length so the enumerator keeps
+  /// sole ownership of sibling choices above the cut.
+  std::size_t floor = 0;
+};
+
+/// Fault-site coordinate: (encoded action, victim's lifetime op count).
+using FaultPoint = std::pair<int, std::uint64_t>;
+
+/// Snapshot of a unit's cumulative results taken right after a violation is
+/// recorded.  When the deterministic merge decides the serial explorer would
+/// have stopped at that violation, it folds the checkpoint instead of the
+/// full unit, discarding everything the worker explored speculatively past
+/// the stop point.
+struct UnitCheckpoint {
+  ExploreStats stats;
+  std::set<FaultPoint> fault_points;
+  bool budget_limited = false;
+  bool fault_limited = false;
+};
+
+/// Results of one merge unit: either a sharded subtree job or a maximal run
+/// of consecutive inline (enumerator-executed) runs.  Units are merged in
+/// DFS order, which makes the parallel explorer byte-identical to the
+/// serial one.
+struct UnitResult {
+  ExploreStats stats;
+  std::set<FaultPoint> fault_points;
+  std::vector<Counterexample> violations;
+  std::vector<UnitCheckpoint> checkpoints;  ///< parallel to `violations`
+  bool budget_limited = false;  ///< a branch was cut by the preemption budget
+  bool fault_limited = false;   ///< a branch was cut by the fault budget
+  bool cap_hit = false;         ///< max_schedules fired before some run
+  bool stopped = false;         ///< the worker hit its violation quota
+  bool skipped = false;         ///< claimed past the stop barrier, never run
+};
+
+/// A sharded subtree: the frame stack at the moment the enumerator cut the
+/// DFS, `shard_at` frames deep with every `chosen` set.  Sleep sets,
+/// explored-sibling sets and budget counters carry across the cut in the
+/// frames, so a worker replaying the prefix on a private SimEnv explores
+/// the subtree exactly as the serial walk would have.
+struct SubtreeJob {
+  std::vector<Frame> prefix;
+};
+
+struct PassUnit {
+  std::optional<SubtreeJob> job;  ///< nullopt for inline units
+  UnitResult result;
+};
+
+/// The max_schedules safety valve, shared across enumerator and workers.
+struct SharedBudget {
+  explicit SharedBudget(std::uint64_t cap) : max_schedules(cap) {}
+  std::atomic<std::uint64_t> schedules{0};
+  const std::uint64_t max_schedules;
+  bool exhausted() const {
+    return schedules.load(std::memory_order_relaxed) >= max_schedules;
+  }
 };
 
 /// Granting away from the most recently granted (still-runnable) process
@@ -191,16 +254,17 @@ Frame make_frame(const sim::SimEnv& env, std::vector<int> runnable,
 /// Accounts the branches the filters cut at a freshly materialized node
 /// (all filters are functions of the frame alone, so counting once at
 /// creation is exact).
-void account_frame(const Frame& frame, PassState& pass, ExploreStats& stats) {
+void account_frame(const Frame& frame, const PassState& pass,
+                   UnitResult& unit) {
   for (const int pid : frame.runnable) {
     if (pass.use_por && contains(frame.entry_sleep, pid)) {
-      ++stats.sleep_set_prunes;
+      ++unit.stats.sleep_set_prunes;
       continue;
     }
     if (pass.budget >= 0 &&
         frame.preemptions_before + choice_cost(frame, pid) > pass.budget) {
-      ++stats.preemption_prunes;
-      pass.budget_limited = true;
+      ++unit.stats.preemption_prunes;
+      unit.budget_limited = true;
     }
   }
   // Note: this must also count at fault_budget == 0 (where every fault
@@ -221,17 +285,18 @@ void account_frame(const Frame& frame, PassState& pass, ExploreStats& stats) {
       }
     }
     if (cut > 0) {
-      stats.fault_prunes += cut;
-      pass.fault_limited = true;
+      unit.stats.fault_prunes += cut;
+      unit.fault_limited = true;
     }
   }
 }
 
-/// Backtracks to the deepest node with an unexplored sibling; returns false
-/// when the whole space (at this budget pair) is done.
+/// Backtracks to the deepest node above the subtree floor with an
+/// unexplored sibling; returns false when the whole space (at this budget
+/// pair, within this subtree) is done.
 bool advance(PassState& pass) {
   auto& frames = pass.frames;
-  while (!frames.empty()) {
+  while (frames.size() > pass.floor) {
     Frame& frame = frames.back();
     frame.done.push_back(frame.chosen);
     frame.chosen = kNoChoice;
@@ -253,20 +318,37 @@ std::vector<int> parked_pids(const sim::SimEnv& env) {
   return runnable;
 }
 
-/// Fault-site coordinate: (encoded action, victim's lifetime op count).
-using FaultPoint = std::pair<int, std::uint64_t>;
-
 struct RunOutcome {
   bool pruned = false;
   bool truncated = false;
+  bool sharded = false;  ///< run cut at shard_at decisions; subtree emitted
   std::optional<std::string> violation;
   std::vector<int> decisions;
 };
 
+/// Executes one run: replays the frame-stack prefix, then extends it one
+/// decision at a time until the run completes, is pruned, or — for the job
+/// enumerator, `shard_at > 0` — reaches `shard_at` decisions, at which
+/// point the run is abandoned and the frame stack is the subtree job.
+///
+/// Frame-creation accounting (prune counters, budget/fault-limited flags)
+/// commits to `unit` immediately: the serial run that first descends a path
+/// accounts its frames, and for a sharded run that is exactly the job's
+/// unit.  Execution deltas (transitions, faults, fault points) are buffered
+/// and committed only when the run actually finishes — a sharded run's
+/// prefix execution is re-run (and re-counted) by the worker, exactly as
+/// every serial run re-executes its prefix.
 RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
-                   PassState& pass, ExploreStats& stats,
-                   std::set<FaultPoint>* fault_points) {
+                   PassState& pass, UnitResult& unit, std::size_t shard_at) {
   RunOutcome outcome;
+  std::uint64_t run_transitions = 0;
+  std::uint64_t run_faults = 0;
+  std::vector<FaultPoint> run_fault_points;
+  const auto commit = [&] {
+    unit.stats.transitions += run_transitions;
+    unit.stats.faults_injected += run_faults;
+    unit.fault_points.insert(run_fault_points.begin(), run_fault_points.end());
+  };
   auto instance = system.make();
   sim::SimOptions sim_options;
   sim_options.step_limit = opts.max_depth;
@@ -288,6 +370,14 @@ RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
       truncated = true;
       break;
     }
+    if (shard_at > 0 && depth == shard_at) {
+      // Enumerator cut: the frame stack (every `chosen` set) IS the job.
+      // The buffered execution deltas are dropped — the worker replays this
+      // prefix and counts them, exactly as the serial run would have.
+      env.finish();
+      outcome.sharded = true;
+      return outcome;
+    }
 
     int choice = kNoChoice;
     if (depth < pass.frames.size()) {
@@ -303,10 +393,11 @@ RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
     } else {
       const Frame* parent = depth > 0 ? &pass.frames[depth - 1] : nullptr;
       Frame frame = make_frame(env, std::move(runnable), pass, parent);
-      account_frame(frame, pass, stats);
+      account_frame(frame, pass, unit);
       choice = select_choice(frame, pass);
       if (choice == kNoChoice) {
         env.finish();
+        commit();
         outcome.pruned = true;  // prune kinds were accounted above
         return outcome;
       }
@@ -317,22 +408,20 @@ RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
 
     const Action action = decode_action(choice);
     if (action.kind != ActionKind::kGrant) {
-      ++stats.faults_injected;
-      if (fault_points != nullptr) {
-        fault_points->emplace(choice, env.steps_of(action.pid));
-      }
+      ++run_faults;
+      run_fault_points.emplace_back(choice, env.steps_of(action.pid));
     }
     switch (action.kind) {
       case ActionKind::kGrant:
         env.step_process(action.pid);
         ++granted;
-        ++stats.transitions;
+        ++run_transitions;
         break;
       case ActionKind::kScFailure:
         env.inject_sc_failure(action.pid);
         env.step_process(action.pid);
         ++granted;
-        ++stats.transitions;
+        ++run_transitions;
         break;
       case ActionKind::kCrash:
         env.kill_process(action.pid);
@@ -344,11 +433,12 @@ RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
     actions.push_back(choice);
   }
   env.finish();
+  commit();
 
-  ++stats.schedules;
-  stats.max_depth_seen = std::max(stats.max_depth_seen, granted);
+  ++unit.stats.schedules;
+  unit.stats.max_depth_seen = std::max(unit.stats.max_depth_seen, granted);
   if (truncated) {
-    ++stats.truncated;
+    ++unit.stats.truncated;
     outcome.truncated = true;
     return outcome;
   }
@@ -462,6 +552,319 @@ TapeResult run_tape(const ExplorableSystem& system, const ExploreOptions& opts,
   return result;
 }
 
+// ------------------------------------------------- parallel pass machinery
+
+/// Per-pass configuration shared by the enumerator and every worker.
+struct PassConfig {
+  PassState base;          ///< budgets + filter flags; frames empty, floor 0
+  std::size_t shard_at = 0;  ///< 0 = fully inline (serial) pass
+  int jobs = 1;
+  std::size_t violations_so_far = 0;  ///< result.violations.size() at entry
+};
+
+/// What the DFS-ordered merge concluded about a pass.
+struct MergeOutcome {
+  bool stopped = false;        ///< stop policy met (serial `stopped`)
+  bool cap_hit = false;        ///< max_schedules fired (serial `cap_hit`)
+  bool budget_limited = false;
+  bool fault_limited = false;
+};
+
+void fold_unit(UnitResult& into, const UnitResult& from) {
+  into.stats.merge_from(from.stats);
+  into.fault_points.insert(from.fault_points.begin(), from.fault_points.end());
+  into.budget_limited |= from.budget_limited;
+  into.fault_limited |= from.fault_limited;
+}
+
+/// Records a violation plus a checkpoint of the unit's cumulative state, so
+/// the merge can cut this unit exactly at any of its violations.
+void record_violation(UnitResult& unit, Counterexample cex) {
+  unit.violations.push_back(std::move(cex));
+  UnitCheckpoint cp;
+  cp.stats = unit.stats;
+  cp.fault_points = unit.fault_points;
+  cp.budget_limited = unit.budget_limited;
+  cp.fault_limited = unit.fault_limited;
+  unit.checkpoints.push_back(std::move(cp));
+}
+
+Counterexample build_counterexample(const ExplorableSystem& system,
+                                    const ExploreOptions& opts,
+                                    RunOutcome&& outcome,
+                                    ExploreStats& stats) {
+  Counterexample cex;
+  cex.system = system.name();
+  cex.processes = system.process_count();
+  cex.violation = std::move(*outcome.violation);
+  cex.decisions = std::move(outcome.decisions);
+  cex.shrunk_from = cex.decisions.size();
+  if (opts.minimize) {
+    cex = minimize_counterexample(system, std::move(cex), opts, &stats);
+  }
+  return cex;
+}
+
+/// Explores one subtree to completion on the calling thread.  `pass.frames`
+/// holds the job prefix (floor set), or is empty for a whole serial pass.
+/// `violation_quota` is the most violations the DFS-ordered merge could
+/// ever take from one unit, so exceeding it stops the worker early.
+void explore_subtree(const ExplorableSystem& system,
+                     const ExploreOptions& opts, PassState pass,
+                     SharedBudget& budget, std::size_t violation_quota,
+                     UnitResult& unit) {
+  for (;;) {
+    if (budget.exhausted()) {
+      unit.cap_hit = true;
+      break;
+    }
+    RunOutcome outcome = run_one(system, opts, pass, unit, 0);
+    if (!outcome.pruned) {
+      budget.schedules.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (outcome.violation.has_value()) {
+      record_violation(
+          unit, build_counterexample(system, opts, std::move(outcome),
+                                     unit.stats));
+      if (opts.stop_at_first_violation ||
+          unit.violations.size() >= violation_quota) {
+        unit.stopped = true;
+        break;
+      }
+    }
+    if (!advance(pass)) break;
+  }
+}
+
+/// Runs one (budget pair) pass: a serial enumerator walks the DFS to
+/// `cfg.shard_at` decisions, emitting subtree jobs and executing shallow
+/// runs inline (consecutive inline runs coalesce into one unit; a job
+/// breaks the chain, preserving DFS order); then a worker pool drains the
+/// jobs.  A mutex-guarded completion frontier confirms deterministic stops
+/// as early as possible and raises a barrier so jobs past it are skipped
+/// (the merge never reads them).
+std::vector<PassUnit> run_pass(const ExplorableSystem& system,
+                               const ExploreOptions& opts,
+                               const PassConfig& cfg, SharedBudget& budget) {
+  std::vector<PassUnit> units;
+  const auto inline_unit = [&]() -> UnitResult& {
+    if (units.empty() || units.back().job.has_value()) {
+      units.emplace_back();
+    }
+    return units.back().result;
+  };
+  const std::size_t quota =
+      opts.max_violations > cfg.violations_so_far
+          ? opts.max_violations - cfg.violations_so_far
+          : 1;
+
+  PassState pass = cfg.base;
+  std::size_t inline_recorded = 0;
+  for (;;) {
+    if (budget.exhausted()) {
+      inline_unit().cap_hit = true;
+      break;
+    }
+    UnitResult scratch;
+    RunOutcome outcome = run_one(system, opts, pass, scratch, cfg.shard_at);
+    if (outcome.sharded) {
+      PassUnit u;
+      u.job = SubtreeJob{pass.frames};  // snapshot; the enumerator walks on
+      u.result = std::move(scratch);    // frame accounting for the prefix
+      units.push_back(std::move(u));
+      if (!advance(pass)) break;
+      continue;
+    }
+    UnitResult& unit = inline_unit();
+    fold_unit(unit, scratch);
+    if (!outcome.pruned) {
+      budget.schedules.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (outcome.violation.has_value()) {
+      record_violation(
+          unit, build_counterexample(system, opts, std::move(outcome),
+                                     unit.stats));
+      ++inline_recorded;
+      // Units before this one may already satisfy the stop policy — the
+      // merge decides exactly.  But once inline violations alone satisfy
+      // it, enumerating further units could only produce discarded work.
+      if (opts.stop_at_first_violation ||
+          cfg.violations_so_far + inline_recorded >= opts.max_violations) {
+        unit.stopped = true;
+        break;
+      }
+    }
+    if (!advance(pass)) break;
+  }
+
+  std::vector<std::size_t> job_indices;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    if (units[i].job.has_value()) job_indices.push_back(i);
+  }
+  if (job_indices.empty()) return units;
+
+  // Completion frontier: as the maximal complete unit prefix grows, replay
+  // the merge's stop rule over it; on a confirmed stop at unit k, every job
+  // with index > k is skippable — the merge will never reach it.
+  std::mutex mu;
+  std::vector<char> complete(units.size(), 0);
+  std::size_t frontier = 0;
+  std::size_t frontier_violations = cfg.violations_so_far;
+  std::atomic<std::size_t> barrier{units.size()};
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+
+  const auto walk_frontier = [&] {  // mu held
+    while (frontier < units.size() && complete[frontier] != 0) {
+      const UnitResult& unit = units[frontier].result;
+      bool stops = unit.cap_hit;
+      if (!unit.skipped) {
+        for (std::size_t i = 0; i < unit.violations.size() && !stops; ++i) {
+          ++frontier_violations;
+          if (opts.stop_at_first_violation ||
+              frontier_violations >= opts.max_violations) {
+            stops = true;
+          }
+        }
+      }
+      if (stops) {
+        std::size_t cur = barrier.load(std::memory_order_relaxed);
+        while (cur > frontier &&
+               !barrier.compare_exchange_weak(cur, frontier,
+                                              std::memory_order_release)) {
+        }
+      }
+      ++frontier;
+    }
+  };
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      if (!units[i].job.has_value()) complete[i] = 1;
+    }
+    walk_frontier();
+  }
+
+  const auto worker = [&] {
+    try {
+      for (;;) {
+        const std::size_t j = next.fetch_add(1, std::memory_order_relaxed);
+        if (j >= job_indices.size()) break;
+        const std::size_t u = job_indices[j];
+        if (u > barrier.load(std::memory_order_acquire)) {
+          units[u].result.skipped = true;
+        } else {
+          PassState sub = cfg.base;
+          sub.frames = std::move(units[u].job->prefix);
+          sub.floor = sub.frames.size();
+          explore_subtree(system, opts, std::move(sub), budget, quota,
+                          units[u].result);
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        complete[u] = 1;
+        walk_frontier();
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!error) error = std::current_exception();
+    }
+  };
+
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(std::max(cfg.jobs, 1)),
+                            job_indices.size());
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t i = 1; i < workers; ++i) threads.emplace_back(worker);
+  worker();  // the calling thread is worker 0
+  for (auto& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+  return units;
+}
+
+/// Folds a pass's units into `result` in DFS order, reproducing the serial
+/// explorer's stop rule exactly: the first violation at which the serial
+/// loop would have stopped cuts the merge at that unit's checkpoint, and
+/// everything beyond (speculative worker results) is discarded.
+MergeOutcome merge_pass(std::vector<PassUnit>& units,
+                        const ExploreOptions& opts, ExploreResult& result,
+                        std::set<FaultPoint>& fault_points) {
+  MergeOutcome out;
+  for (auto& pass_unit : units) {
+    UnitResult& unit = pass_unit.result;
+    expects(!unit.skipped,
+            "deterministic merge reached a subtree skipped by the barrier");
+    std::optional<std::size_t> cut;
+    for (std::size_t i = 0; i < unit.violations.size(); ++i) {
+      if (opts.stop_at_first_violation ||
+          result.violations.size() + i + 1 >= opts.max_violations) {
+        cut = i;
+        break;
+      }
+    }
+    if (cut.has_value()) {
+      const UnitCheckpoint& cp = unit.checkpoints[*cut];
+      result.stats.merge_from(cp.stats);
+      fault_points.insert(cp.fault_points.begin(), cp.fault_points.end());
+      out.budget_limited |= cp.budget_limited;
+      out.fault_limited |= cp.fault_limited;
+      for (std::size_t i = 0; i <= *cut; ++i) {
+        result.violations.push_back(std::move(unit.violations[i]));
+      }
+      out.stopped = true;
+      break;
+    }
+    result.stats.merge_from(unit.stats);
+    fault_points.insert(unit.fault_points.begin(), unit.fault_points.end());
+    out.budget_limited |= unit.budget_limited;
+    out.fault_limited |= unit.fault_limited;
+    for (auto& cex : unit.violations) {
+      result.violations.push_back(std::move(cex));
+    }
+    if (unit.cap_hit) {
+      out.cap_hit = true;
+      break;
+    }
+  }
+  return out;
+}
+
+/// jobs == 0 resolves through BSS_EXPLORE_JOBS (how CI forces the worker
+/// pool through every existing test); explicit values are never overridden.
+int resolve_jobs(const ExploreOptions& options) {
+  if (options.jobs > 0) return std::min(options.jobs, 64);
+  static const int env_jobs = [] {
+    const char* raw = std::getenv("BSS_EXPLORE_JOBS");
+    if (raw == nullptr) return 1;
+    char* end = nullptr;
+    const long parsed = std::strtol(raw, &end, 10);
+    if (end == raw || *end != '\0' || parsed < 1) return 1;
+    return static_cast<int>(std::min<long>(parsed, 64));
+  }();
+  return env_jobs;
+}
+
+/// Auto shard depth: none when serial; otherwise the smallest depth whose
+/// estimated subtree count (branching ^ depth) yields several jobs per
+/// worker, so the pool load-balances without enumeration dominating.
+std::size_t resolve_shard_depth(const ExploreOptions& options,
+                                const ExplorableSystem& system, int jobs) {
+  if (options.shard_depth >= 0) {
+    return static_cast<std::size_t>(options.shard_depth);
+  }
+  if (jobs <= 1) return 0;
+  const std::uint64_t branching = static_cast<std::uint64_t>(
+      std::max(2, std::min(system.process_count(), 4)));
+  const std::uint64_t target = std::uint64_t{8} * static_cast<unsigned>(jobs);
+  std::uint64_t reach = 1;
+  std::size_t depth = 0;
+  while (depth < 8 && reach < target) {
+    reach *= branching;
+    ++depth;
+  }
+  return depth;
+}
+
 }  // namespace
 
 std::size_t Counterexample::fault_count() const {
@@ -474,8 +877,15 @@ Counterexample minimize_counterexample(const ExplorableSystem& system,
                                        Counterexample cex,
                                        const ExploreOptions& options,
                                        ExploreStats* stats) {
+  std::uint64_t used = 0;
   const auto count_run = [&] {
+    ++used;
     if (stats != nullptr) ++stats->shrink_runs;
+  };
+  // The shrink analogue of max_schedules: ddmin replays on a pathological
+  // tape must not run unboundedly after the exploration budget is spent.
+  const auto budget_left = [&] {
+    return options.shrink_budget == 0 || used < options.shrink_budget;
   };
   // Canonicalize up front and keep `best` canonical throughout: always the
   // *complete* decision sequence of a violating run, so the replayer
@@ -496,10 +906,15 @@ Counterexample minimize_counterexample(const ExplorableSystem& system,
   // its canonical tape is a strict length win.  Fault entries are ordinary
   // tape entries here: spans containing them are dropped like any other,
   // so a violation that needs fewer faults shrinks to fewer faults.
+  bool budget_hit = false;
   for (std::size_t chunk = std::max<std::size_t>(best.size() / 2, 1);;
        chunk /= 2) {
     std::size_t start = 0;
     while (start < best.size()) {
+      if (!budget_left()) {
+        budget_hit = true;
+        break;
+      }
       const std::size_t len = std::min(chunk, best.size() - start);
       std::vector<int> candidate;
       candidate.reserve(best.size() - len);
@@ -518,8 +933,9 @@ Counterexample minimize_counterexample(const ExplorableSystem& system,
         start += chunk;
       }
     }
-    if (chunk == 1) break;
+    if (budget_hit || chunk == 1) break;
   }
+  if (budget_hit && stats != nullptr) ++stats->shrink_budget_hits;
 
   cex.decisions = std::move(best);
   cex.violation = std::move(violation);
@@ -542,11 +958,15 @@ ReplayOutcome replay_counterexample(const ExplorableSystem& system,
 ExploreResult explore(const ExplorableSystem& system,
                       const ExploreOptions& options) {
   ExploreResult result;
+  const int jobs = resolve_jobs(options);
+  const std::size_t shard_at = resolve_shard_depth(options, system, jobs);
 
   // Chess-style iterative bounding: sweep small budgets first so the
   // simplest refutation surfaces; a budget that cut nothing covered the
   // whole space, making larger budgets redundant.  Fault budgets sweep
-  // outermost — a zero-fault refutation beats a one-fault one.
+  // outermost — a zero-fault refutation beats a one-fault one.  Each
+  // (fault, preemption) budget pair is one *pass*: sharding happens within
+  // a pass, so fewest-fault-first ordering is preserved.
   std::vector<int> preemption_budgets;
   if (options.preemption_bound >= 0 && options.iterative) {
     for (int b = 0; b <= options.preemption_bound; ++b) {
@@ -569,50 +989,33 @@ ExploreResult explore(const ExplorableSystem& system,
   }
 
   std::set<FaultPoint> fault_points;
+  SharedBudget budget_valve(options.max_schedules);
   bool cap_hit = false;
   bool stopped = false;
   bool last_pass_budget_limited = false;
   for (const int fault_budget : fault_budgets) {
     bool fault_limited_at_this_budget = false;
     for (const int budget : preemption_budgets) {
-      PassState pass;
-      pass.budget = budget;
-      pass.fault_budget = faults_on ? fault_budget : 0;
-      pass.use_por = options.use_por;
-      pass.explore_crashes = faults_on && options.explore_crashes;
-      pass.explore_restarts = faults_on && options.explore_restarts;
-      pass.explore_sc = faults_on && options.explore_sc_failures;
-      for (;;) {
-        if (result.stats.schedules >= options.max_schedules) {
-          cap_hit = true;
-          break;
-        }
-        const RunOutcome outcome =
-            run_one(system, options, pass, result.stats, &fault_points);
-        if (outcome.violation.has_value()) {
-          Counterexample cex;
-          cex.system = system.name();
-          cex.processes = system.process_count();
-          cex.violation = *outcome.violation;
-          cex.decisions = outcome.decisions;
-          cex.shrunk_from = outcome.decisions.size();
-          if (options.minimize) {
-            cex = minimize_counterexample(system, std::move(cex), options,
-                                          &result.stats);
-          }
-          result.violations.push_back(std::move(cex));
-          if (options.stop_at_first_violation ||
-              result.violations.size() >= options.max_violations) {
-            stopped = true;
-            break;
-          }
-        }
-        if (!advance(pass)) break;
-      }
-      last_pass_budget_limited = pass.budget_limited;
-      fault_limited_at_this_budget = pass.fault_limited;
+      PassConfig cfg;
+      cfg.base.budget = budget;
+      cfg.base.fault_budget = faults_on ? fault_budget : 0;
+      cfg.base.use_por = options.use_por;
+      cfg.base.explore_crashes = faults_on && options.explore_crashes;
+      cfg.base.explore_restarts = faults_on && options.explore_restarts;
+      cfg.base.explore_sc = faults_on && options.explore_sc_failures;
+      cfg.shard_at = shard_at;
+      cfg.jobs = jobs;
+      cfg.violations_so_far = result.violations.size();
+      std::vector<PassUnit> units =
+          run_pass(system, options, cfg, budget_valve);
+      const MergeOutcome merged =
+          merge_pass(units, options, result, fault_points);
+      last_pass_budget_limited = merged.budget_limited;
+      fault_limited_at_this_budget = merged.fault_limited;
+      cap_hit |= merged.cap_hit;
+      stopped |= merged.stopped;
       if (cap_hit || stopped) break;
-      if (!pass.budget_limited) break;  // space fully covered at this budget
+      if (!merged.budget_limited) break;  // space covered at this budget
     }
     if (cap_hit || stopped) break;
     // A fault budget that cut nothing covered the whole bounded-fault
@@ -628,6 +1031,21 @@ ExploreResult explore(const ExplorableSystem& system,
 
 // ---------------------------------------------------------------- reporting
 
+void ExploreStats::merge_from(const ExploreStats& other) {
+  schedules += other.schedules;
+  transitions += other.transitions;
+  sleep_set_prunes += other.sleep_set_prunes;
+  preemption_prunes += other.preemption_prunes;
+  truncated += other.truncated;
+  max_depth_seen = std::max(max_depth_seen, other.max_depth_seen);
+  shrink_runs += other.shrink_runs;
+  shrink_budget_hits += other.shrink_budget_hits;
+  fault_prunes += other.fault_prunes;
+  faults_injected += other.faults_injected;
+  // fault_points intentionally untouched: distinct sites dedup through a
+  // set and are written once at the end of explore().
+}
+
 std::string ExploreStats::summary() const {
   std::ostringstream out;
   out << "schedules=" << schedules << " transitions=" << transitions
@@ -635,6 +1053,9 @@ std::string ExploreStats::summary() const {
       << " preemption-prunes=" << preemption_prunes
       << " truncated=" << truncated << " max-depth=" << max_depth_seen
       << " shrink-runs=" << shrink_runs;
+  if (shrink_budget_hits > 0) {
+    out << " shrink-budget-hits=" << shrink_budget_hits;
+  }
   if (faults_injected > 0 || fault_prunes > 0) {
     out << " faults=" << faults_injected << " fault-points=" << fault_points
         << " fault-prunes=" << fault_prunes;
@@ -748,7 +1169,7 @@ std::optional<Counterexample> Counterexample::from_artifact(
         } catch (const std::exception&) {
           return std::nullopt;
         }
-        if (pid < 0) return std::nullopt;
+        if (pid < 0 || pid > kMaxActionPid) return std::nullopt;
         cex.decisions.push_back(encode_action(kind, pid));
       }
       saw_decisions = true;

@@ -34,22 +34,41 @@
 //
 // On a violation the explorer emits a Counterexample and greedily shrinks it
 // (ddmin-style chunk deletion over the decision tape, re-running each
-// candidate), then *canonicalizes* the survivor into the exact decision
-// sequence of its run — an artifact that the replayer re-executes verbatim
-// with zero divergences.  Fault-free counterexamples serialize as
-// `bss-counterexample v1` (grants only, as always); tapes carrying fault
-// decisions serialize as `bss-counterexample v2`, whose decision list mixes
-// plain grants with `c<pid>` (crash), `r<pid>` (restart) and `s<pid>`
-// (spurious SC failure) tokens.  Both versions parse.
+// candidate, bounded by a per-counterexample shrink budget), then
+// *canonicalizes* the survivor into the exact decision sequence of its run —
+// an artifact that the replayer re-executes verbatim with zero divergences.
+// Fault-free counterexamples serialize as `bss-counterexample v1` (grants
+// only, as always); tapes carrying fault decisions serialize as
+// `bss-counterexample v2`, whose decision list mixes plain grants with
+// `c<pid>` (crash), `r<pid>` (restart) and `s<pid>` (spurious SC failure)
+// tokens.  Both versions parse.
+//
+// Parallel exploration (`ExploreOptions::jobs`): every run is a pure
+// function of the decision tape, so the schedule space shards cleanly.  A
+// serial enumerator walks the DFS down to `shard_depth` decisions, emitting
+// each depth-`shard_depth` subtree as an independent job (a snapshot of the
+// frame stack, so sleep sets, explored-sibling sets and budget counters
+// carry across the cut exactly); a worker pool explores the subtrees on
+// private SimEnvs, and the results are merged in DFS order with a
+// deterministic cutoff rule.  The merged ExploreResult is **byte-identical
+// to the serial explorer's** for every worker count and completion order —
+// including early-stopped runs, where work a worker did beyond the
+// deterministic stop point is discarded rather than folded in.  The one
+// exception is the `max_schedules` safety valve: with jobs > 1 the shared
+// schedule budget is claimed concurrently, so *which* schedules fit under a
+// cap that actually fires depends on timing (the run is flagged not
+// exhausted either way).
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "explore/system.h"
 #include "runtime/trace.h"
+#include "util/checked.h"
 
 namespace bss::explore {
 
@@ -71,7 +90,19 @@ struct Action {
   int pid = 0;
 };
 
+/// Largest pid the dense encoding carries without overflowing int: the
+/// fault encoding maps (kind, pid) to -(pid*3 + kind-1) - 1, so pid*3 + 2
+/// must stay representable.  Far above the explorer's own 64-process cap;
+/// the guard exists so silent wrap-around can never corrupt a tape.
+constexpr int kMaxActionPid = (std::numeric_limits<int>::max() - 3) / 3;
+
+/// Encodes an action onto the decision tape.  Throws InvariantError for
+/// pids outside [0, kMaxActionPid] (compile error when evaluated constexpr)
+/// instead of silently wrapping into some other action's encoding.
 constexpr int encode_action(ActionKind kind, int pid) {
+  if (pid < 0 || pid > kMaxActionPid) {
+    throw InvariantError("encode_action: pid outside the dense encoding's range");
+  }
   return kind == ActionKind::kGrant
              ? pid
              : -(pid * 3 + (static_cast<int>(kind) - 1)) - 1;
@@ -98,11 +129,22 @@ struct ExploreOptions {
   /// Stop after this many complete schedules (safety valve).
   std::uint64_t max_schedules = 1'000'000;
   /// Stop at the first violation (otherwise keep exploring, collecting up to
-  /// max_violations counterexamples).
+  /// max_violations counterexamples).  In parallel mode both limits are
+  /// enforced per subtree job and again — exactly — by the DFS-ordered
+  /// merge, so the reported violations are always the serial explorer's
+  /// first ones regardless of worker count.
   bool stop_at_first_violation = true;
   std::size_t max_violations = 8;
   /// Shrink counterexamples before reporting them.
   bool minimize = true;
+  /// Maximum re-executions minimize_counterexample may spend per
+  /// counterexample (the shrink analogue of max_schedules: ddmin replays on
+  /// a pathological tape must not run unboundedly after the exploration
+  /// budget is spent).  The canonicalization run always happens; when the
+  /// budget runs dry mid-shrink the best tape so far is returned — still
+  /// canonical, still replaying with zero divergences — and
+  /// ExploreStats::shrink_budget_hits records the cut.  0 means unlimited.
+  std::uint64_t shrink_budget = 4096;
   /// Record traces during exploration runs (needed only if check() reads
   /// env.trace(); off saves allocation in the hot loop).
   bool record_trace = false;
@@ -120,6 +162,19 @@ struct ExploreOptions {
   /// most one per process per schedule — the slack the LL/SC c&s adapter's
   /// retry bound tolerates).
   bool explore_sc_failures = false;
+  /// Worker threads for subtree-sharded exploration.  1 explores serially;
+  /// N > 1 shards the DFS at `shard_depth` and explores subtrees
+  /// concurrently (each worker replays its prefix on a private SimEnv).
+  /// 0 — the default — resolves to the BSS_EXPLORE_JOBS environment
+  /// variable when set (how CI race-checks the pool) and to 1 otherwise.
+  /// Results are byte-identical across all values; see the header comment.
+  int jobs = 0;
+  /// Decision depth at which the DFS is cut into independent subtree jobs.
+  /// -1 picks automatically (no sharding when jobs resolves to 1, else a
+  /// depth sized to yield several jobs per worker); 0 disables sharding
+  /// outright.  Any value produces identical results — the knob trades
+  /// enumeration overhead against load balance.
+  int shard_depth = -1;
 };
 
 struct ExploreStats {
@@ -130,11 +185,18 @@ struct ExploreStats {
   std::uint64_t truncated = 0;         ///< schedules cut by max_depth
   std::uint64_t max_depth_seen = 0;    ///< longest schedule encountered
   std::uint64_t shrink_runs = 0;       ///< re-executions spent minimizing
+  std::uint64_t shrink_budget_hits = 0; ///< minimizations cut by shrink_budget
   std::uint64_t fault_prunes = 0;      ///< fault branches cut by the budget
   std::uint64_t faults_injected = 0;   ///< fault decisions taken, all runs
   /// Distinct fault sites covered: (action, victim's lifetime op count)
   /// pairs — "every single-crash point" means every such pair was hit.
   std::uint64_t fault_points = 0;
+
+  /// Folds `other` into this: counters add, max_depth_seen maxes.  The
+  /// parallel merge applies this to per-subtree stats in DFS order;
+  /// fault_points is NOT summed (distinct sites dedup through a set and are
+  /// written once at the end of explore()).
+  void merge_from(const ExploreStats& other);
 
   std::string summary() const;
 };

@@ -4,6 +4,11 @@
 // schedule the checker searches for a legal linearization.  This is the
 // explorer's second property family (after election safety) and the model
 // for plugging any interval-history object into it.
+//
+// The factory is thread-safe (the parallel explorer calls make()
+// concurrently from its workers): (writers, rounds) is fixed at
+// construction and make() only reads it — all mutable state lives in the
+// per-run instance.
 #pragma once
 
 #include <memory>

@@ -9,6 +9,13 @@
 // this repository already is (SimEnv executions are a pure function of the
 // scheduler's decisions).
 //
+// With parallel exploration (ExploreOptions::jobs > 1) make() is called
+// CONCURRENTLY from explorer worker threads, so factories must also be
+// thread-safe: const member functions only, no mutable shared state, no
+// lazily initialized caches.  Instances themselves are never shared — each
+// worker drives its own instance on its own private SimEnv — so only the
+// factory (and anything it captures by reference) needs the guarantee.
+//
 // Properties are pluggable through SystemInstance::check: election safety
 // (core/election_validator.h), linearizability (runtime/linearizability.h),
 // or any user invariant phrased over the finished run.  check() returns a

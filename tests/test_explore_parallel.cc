@@ -1,0 +1,269 @@
+// Determinism suite for parallel schedule-space exploration: the worker
+// pool must be invisible in the results.  For every seeded mutant and for
+// clean exhaustive sweeps — fault-free and fault-budget alike — jobs=1 and
+// jobs=N produce identical ExploreStats, identical violation sets (same
+// order, same minimized tapes), and identical artifacts; any shard depth
+// yields the same answer as no sharding at all.  Plus the dense action
+// encoding's overflow guard and a 100-seed parallel storm on the
+// std::thread backend.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/mutant_elections.h"
+#include "core/recoverable_election.h"
+#include "explore/election_systems.h"
+#include "explore/explore.h"
+#include "util/checked.h"
+
+namespace bss::explore {
+namespace {
+
+using core::OneShotMutant;
+using core::RecoverableConcurrentReport;
+using core::RestartBehavior;
+using core::run_recoverable_concurrent_election;
+
+/// Byte-level equality of two ExploreResults: every stats field (via the
+/// summary string, which prints them all), the exhausted verdict, and every
+/// violation's full artifact text (system, violation, tape, shrunk-from).
+void expect_identical(const ExploreResult& serial,
+                      const ExploreResult& parallel,
+                      const std::string& label) {
+  EXPECT_EQ(serial.stats.summary(), parallel.stats.summary()) << label;
+  EXPECT_EQ(serial.exhausted, parallel.exhausted) << label;
+  ASSERT_EQ(serial.violations.size(), parallel.violations.size()) << label;
+  for (std::size_t i = 0; i < serial.violations.size(); ++i) {
+    EXPECT_EQ(serial.violations[i].to_artifact(),
+              parallel.violations[i].to_artifact())
+        << label << " violation " << i;
+  }
+}
+
+/// Runs `system` under `options` at jobs=1 and at each given worker count
+/// and asserts every result is byte-identical to the serial one.
+void expect_jobs_invariant(const ExplorableSystem& system,
+                           ExploreOptions options,
+                           std::initializer_list<int> worker_counts) {
+  options.jobs = 1;
+  const ExploreResult serial = explore(system, options);
+  for (const int jobs : worker_counts) {
+    ExploreOptions parallel_options = options;
+    parallel_options.jobs = jobs;
+    const ExploreResult parallel = explore(system, parallel_options);
+    expect_identical(serial, parallel,
+                     system.name() + " jobs=" + std::to_string(jobs));
+  }
+}
+
+// ------------------------------------------------- clean exhaustive sweeps
+
+TEST(ParallelExplore, CleanOneShotPorIdenticalAcrossWorkerCounts) {
+  OneShotSystem system(4, 3);
+  expect_jobs_invariant(system, {}, {2, 4, 8});
+}
+
+TEST(ParallelExplore, CleanOneShotNaiveCountsExactInterleavings) {
+  OneShotSystem system(4, 3);
+  ExploreOptions options;
+  options.use_por = false;
+  options.jobs = 4;
+  const ExploreResult result = explore(system, options);
+  EXPECT_TRUE(result.ok()) << result.summary();
+  EXPECT_TRUE(result.exhausted);
+  // 9 steps, 3 per process: 9!/(3!)^3 — the exact serial count.
+  EXPECT_EQ(result.stats.schedules, 1680u);
+  expect_jobs_invariant(system, options, {2, 4});
+}
+
+TEST(ParallelExplore, IterativePreemptionBoundIdentical) {
+  LlScSystem system(3, 2);
+  ExploreOptions options;
+  options.preemption_bound = 2;
+  options.iterative = true;
+  expect_jobs_invariant(system, options, {4});
+}
+
+// ------------------------------------------------------- mutant refutation
+
+TEST(ParallelExplore, ClaimAfterCasMutantIdenticalMinimizedArtifact) {
+  OneShotSystem system(4, 3, OneShotMutant::kClaimAfterCas);
+  expect_jobs_invariant(system, {}, {2, 4});
+}
+
+TEST(ParallelExplore, SplitCasMutantIdenticalMinimizedArtifact) {
+  OneShotSystem system(4, 2, OneShotMutant::kSplitCas);
+  expect_jobs_invariant(system, {}, {4, 8});
+}
+
+TEST(ParallelExplore, ScBlindLlScMutantIdenticalMinimizedArtifact) {
+  LlScSystem system(3, 2, /*sc_blind=*/true);
+  expect_jobs_invariant(system, {}, {4});
+}
+
+TEST(ParallelExplore, CollectAllViolationsIdenticalOrderAndTapes) {
+  OneShotSystem system(4, 2, OneShotMutant::kSplitCas);
+  ExploreOptions options;
+  options.stop_at_first_violation = false;
+  options.max_violations = 8;
+  expect_jobs_invariant(system, options, {2, 4});
+}
+
+TEST(ParallelExplore, ParallelCounterexampleReplaysWithZeroDivergences) {
+  OneShotSystem system(4, 3, OneShotMutant::kClaimAfterCas);
+  ExploreOptions options;
+  options.jobs = 4;
+  const ExploreResult result = explore(system, options);
+  ASSERT_FALSE(result.ok());
+  const ReplayOutcome replay =
+      replay_counterexample(system, result.violations.front());
+  EXPECT_TRUE(replay.violated);
+  EXPECT_EQ(replay.divergences, 0u);
+}
+
+// ------------------------------------------------------ fault-budget sweeps
+
+TEST(ParallelExplore, FaultSweepIdenticalIncludingFaultPoints) {
+  OneShotSystem system(4, 2, OneShotMutant::kNone, /*restartable=*/true);
+  ExploreOptions options;
+  options.fault_bound = 1;
+  options.iterative = true;
+  expect_jobs_invariant(system, options, {2, 4});
+}
+
+TEST(ParallelExplore, FreshClaimMutantFaultRefutationIdentical) {
+  RecoverableFvtSystem system(3, 2, RestartBehavior::kFreshClaim);
+  ExploreOptions options;
+  options.fault_bound = 1;
+  options.iterative = true;
+  options.explore_crashes = false;  // the bug needs a restart, not a death
+  expect_jobs_invariant(system, options, {4});
+}
+
+// ----------------------------------------------------------- shard depths
+
+TEST(ParallelExplore, ShardDepthInvariant) {
+  OneShotSystem system(4, 3, OneShotMutant::kClaimAfterCas);
+  ExploreOptions serial_options;
+  serial_options.jobs = 1;
+  serial_options.shard_depth = 0;
+  const ExploreResult serial = explore(system, serial_options);
+  for (const int depth : {1, 2, 3, 5}) {
+    for (const int jobs : {1, 4}) {
+      ExploreOptions options;
+      options.jobs = jobs;
+      options.shard_depth = depth;
+      const ExploreResult sharded = explore(system, options);
+      expect_identical(serial, sharded,
+                       "shard_depth=" + std::to_string(depth) +
+                           " jobs=" + std::to_string(jobs));
+    }
+  }
+}
+
+// ----------------------------------------------------------- shrink budget
+
+TEST(ParallelExplore, ShrinkBudgetCutsDdminButStaysReplayable) {
+  OneShotSystem system(4, 3, OneShotMutant::kClaimAfterCas);
+  ExploreOptions options;
+  options.shrink_budget = 1;  // only the canonicalization run fits
+  const ExploreResult result = explore(system, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_GT(result.stats.shrink_budget_hits, 0u) << result.stats.summary();
+  EXPECT_LE(result.stats.shrink_runs, result.stats.shrink_budget_hits * 2)
+      << "a shrink_budget=1 minimization must stop after canonicalizing";
+  // The cut still returns a canonical tape: replays with zero divergences.
+  const ReplayOutcome replay =
+      replay_counterexample(system, result.violations.front());
+  EXPECT_TRUE(replay.violated);
+  EXPECT_EQ(replay.divergences, 0u);
+}
+
+TEST(ParallelExplore, UnlimitedShrinkBudgetNeverHits) {
+  OneShotSystem system(4, 2, OneShotMutant::kSplitCas);
+  ExploreOptions options;
+  options.shrink_budget = 0;  // unlimited
+  const ExploreResult result = explore(system, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.stats.shrink_budget_hits, 0u);
+  EXPECT_GT(result.stats.shrink_runs, 0u);
+}
+
+// --------------------------------------------------- action-encoding guard
+
+TEST(ParallelExplore, ActionEncodingRoundTripsOverFullSupportedRange) {
+  const std::vector<int> pids = {0,       1,          7,
+                                 63,      1'000'000,  kMaxActionPid - 1,
+                                 kMaxActionPid};
+  for (const auto kind : {ActionKind::kGrant, ActionKind::kCrash,
+                          ActionKind::kRestart, ActionKind::kScFailure}) {
+    for (const int pid : pids) {
+      const int encoded = encode_action(kind, pid);
+      const Action action = decode_action(encoded);
+      EXPECT_EQ(action.kind, kind) << "pid " << pid;
+      EXPECT_EQ(action.pid, pid);
+      EXPECT_EQ(is_fault_action(encoded), kind != ActionKind::kGrant);
+    }
+  }
+}
+
+TEST(ParallelExplore, ActionEncodingRejectsOutOfRangePids) {
+  EXPECT_THROW(encode_action(ActionKind::kCrash, kMaxActionPid + 1),
+               InvariantError);
+  EXPECT_THROW(encode_action(ActionKind::kGrant, -1), InvariantError);
+  EXPECT_THROW(encode_action(ActionKind::kScFailure,
+                             std::numeric_limits<int>::max()),
+               InvariantError);
+}
+
+TEST(ParallelExplore, ArtifactRejectsOutOfRangePid) {
+  const std::string artifact =
+      "bss-counterexample v2\n"
+      "system: x\n"
+      "processes: 2\n"
+      "shrunk-from: 1\n"
+      "violation: v\n"
+      "decisions: c" +
+      std::to_string(kMaxActionPid + 1) + "\n";
+  EXPECT_FALSE(Counterexample::from_artifact(artifact).has_value());
+}
+
+// ------------------------------------------------- thread-backend storm
+
+// 100 seeds of the crash-restart election on the real std::thread backend,
+// driven from 4 concurrent driver threads: the explorer's worker pool and
+// the systems it spawns must coexist with genuine parallelism (this is the
+// test TSan chews on in CI).
+TEST(ParallelExplore, HundredSeedParallelConcurrentRestartStorm) {
+  constexpr int k = 4;
+  constexpr int n = 3;
+  constexpr std::uint64_t kSeeds = 100;
+  constexpr std::uint64_t kDrivers = 4;
+  std::vector<std::string> failures(kDrivers);
+  std::vector<std::thread> drivers;
+  for (std::uint64_t d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([d, &failures] {
+      for (std::uint64_t seed = d; seed < kSeeds; seed += kDrivers) {
+        const RecoverableConcurrentReport report =
+            run_recoverable_concurrent_election(k, n, seed);
+        if (!report.consistent) {
+          failures[d] = "inconsistent at seed " + std::to_string(seed);
+          return;
+        }
+        if (report.leader < 1000 || report.leader >= 1000 + n) {
+          failures[d] = "bad leader at seed " + std::to_string(seed);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  for (const std::string& failure : failures) EXPECT_EQ(failure, "");
+}
+
+}  // namespace
+}  // namespace bss::explore
