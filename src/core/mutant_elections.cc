@@ -14,6 +14,18 @@ std::string to_string(OneShotMutant mutant) {
   return "?";
 }
 
+std::string to_string(AuditMutant mutant) {
+  switch (mutant) {
+    case AuditMutant::kHiddenScratch:
+      return "hidden-scratch";
+    case AuditMutant::kUnsyncedPeek:
+      return "unsynced-peek";
+    case AuditMutant::kStealthCounter:
+      return "stealth-counter";
+  }
+  return "?";
+}
+
 MutantOneShotState::MutantOneShotState(int k)
     : cas("cas", k), weak("weak-cas", sim::CasRegisterK::kBottom) {
   claim.reserve(static_cast<std::size_t>(k));

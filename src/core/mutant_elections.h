@@ -51,6 +51,91 @@ std::int64_t one_shot_elect_mutant(MutantOneShotState& state, sim::Ctx& ctx,
                                    int pid, std::int64_t id,
                                    OneShotMutant mutant);
 
+// ---------------------------------------------------------- audit mutants
+//
+// Seeded soundness bugs for the access-ledger auditor (src/audit).  Unlike
+// the schedule mutants above, these are not wrong on any *particular*
+// interleaving — they lie to the exploration infrastructure itself
+// (undeclared footprints, unsynchronized access, broken read/read
+// commutation), the exact failure modes that silently unsound a sleep-set
+// explorer.  tests/test_audit.cc asserts each is caught by its detector.
+
+enum class AuditMutant {
+  kHiddenScratch,   ///< read secretly writes a hidden scratch cell — an
+                    ///< undeclared footprint (kUndeclaredTouch)
+  kUnsyncedPeek,    ///< a process peeks shared state before its first sync
+                    ///< — access outside any granted window (kUnsyncedAccess)
+  kStealthCounter,  ///< a "read" that mutates hidden state, so reads no
+                    ///< longer commute — ledger-clean, only the commutation
+                    ///< cross-check exposes it
+};
+
+std::string to_string(AuditMutant mutant);
+
+/// Register whose read declares the honest {name, "read"} footprint but ALSO
+/// bumps a hidden scratch cell.  The token reports the scratch write
+/// truthfully (the lie is in the *declaration*, not the ledger), so the
+/// footprint conformance checker flags kUndeclaredTouch.  Under-declared
+/// footprints are exactly what unsounds sleep-set POR: two "reads" of this
+/// register do not commute, yet ops_commute says they do.
+class HiddenScratchRegister {
+ public:
+  explicit HiddenScratchRegister(std::string name)
+      : name_(std::move(name)), scratch_name_(name_ + ".scratch") {}
+
+  std::int64_t read(sim::Ctx& ctx) {
+    ctx.sync({name_, "read", 0, 0});
+    ctx.access_token().read(name_);
+    ctx.access_token().write(scratch_name_);  // BUG: undeclared footprint
+    ++scratch_;
+    ctx.note_result(value_);
+    return value_;
+  }
+
+  void write(sim::Ctx& ctx, std::int64_t value) {
+    ctx.sync({name_, "write", value, 0});
+    ctx.access_token().write(name_);
+    value_ = value;
+  }
+
+  const std::string& name() const { return name_; }
+  std::int64_t peek() const { return value_; }
+  std::int64_t scratch() const { return scratch_; }
+
+ private:
+  std::string name_;
+  std::string scratch_name_;
+  std::int64_t value_ = 0;
+  std::int64_t scratch_ = 0;
+};
+
+/// Register that is ledger- AND footprint-clean — its token truthfully
+/// reports a read of the declared object, nothing else — yet serves every
+/// "read" a fresh ticket from a hidden counter.  Two reads of it do not
+/// commute (swapping them swaps the tickets the processes saw), violating
+/// the read/read half of ops_commute.  No per-access detector can see this;
+/// the differential commutation cross-check catches it by replaying the
+/// swapped schedule and comparing final states.
+class StealthCounterRegister {
+ public:
+  explicit StealthCounterRegister(std::string name) : name_(std::move(name)) {}
+
+  std::int64_t read(sim::Ctx& ctx) {
+    ctx.sync({name_, "read", 0, 0});
+    ctx.access_token().read(name_);
+    const std::int64_t ticket = ++served_;  // BUG: a "read" that writes
+    ctx.note_result(ticket);
+    return ticket;
+  }
+
+  const std::string& name() const { return name_; }
+  std::int64_t peek() const { return served_; }
+
+ private:
+  std::string name_;
+  std::int64_t served_ = 0;
+};
+
 /// LL/SC c&s adapter that IGNORES store-conditional failure: the process
 /// believes it installed its symbol although the register never changed.
 /// Harmless while SCs never interleave; wrong exactly when another SC lands

@@ -26,7 +26,7 @@
 // election there are simply not enough v-processes to feed (k-1)!+1
 // emulators, the operational face of Theorem 1).
 //
-// Scaling note (DESIGN.md §5): the paper's quotas (m·k² suspensions per
+// Scaling note (DESIGN.md §6): the paper's quotas (m·k² suspensions per
 // edge, release margin m, threshold Σ g·m^g) assume Θ = O(k^(k²+3))
 // v-processes.  The quotas here are parameters with small defaults, and
 // `direct_install` lets the installing v-process itself realize a new

@@ -17,6 +17,30 @@ namespace {
 
 constexpr std::int64_t kIdBase = 1000;
 
+/// Serializes a final shared-state component into the commute cross-check
+/// fingerprint.  Every instance funnels its register peeks and per-process
+/// results through this so the format stays uniform and deterministic.
+template <class T>
+void fp_field(std::ostringstream& out, const char* label, const T& value) {
+  out << label << '=' << value << ';';
+}
+
+template <class Register>
+void fp_peeks(std::ostringstream& out, const char* label,
+              const std::vector<Register>& registers) {
+  out << label << "=[";
+  for (const auto& reg : registers) out << reg.peek() << ',';
+  out << "];";
+}
+
+template <class T>
+void fp_values(std::ostringstream& out, const char* label,
+               const std::vector<T>& values) {
+  out << label << "=[";
+  for (const auto& value : values) out << value << ',';
+  out << "];";
+}
+
 /// Shared post-run checks: every surviving process finished without
 /// throwing, all survivors agree, and the winner was actually proposed.
 /// Crashed processes (fail-stop or killed mid-restart by the fault
@@ -83,6 +107,16 @@ class OneShotInstance final : public SystemInstance {
     return check_outcomes(report, elected_, n_);
   }
 
+  std::string fingerprint(const sim::SimEnv&) override {
+    std::ostringstream out;
+    fp_field(out, "cas", state_.cas.peek());
+    fp_field(out, "cas_transitions", state_.cas.history().size());
+    fp_field(out, "weak", state_.weak.peek());
+    fp_peeks(out, "claim", state_.claim);
+    fp_values(out, "elected", elected_);
+    return out.str();
+  }
+
  private:
   core::MutantOneShotState state_;
   int n_;
@@ -118,6 +152,15 @@ class LlScInstance final : public SystemInstance {
   std::optional<std::string> check(const sim::SimEnv&,
                                    const sim::RunReport& report) override {
     return check_outcomes(report, elected_, n_);
+  }
+
+  std::string fingerprint(const sim::SimEnv&) override {
+    std::ostringstream out;
+    fp_field(out, "llsc", state_.llsc.peek());
+    fp_peeks(out, "confirm", state_.confirm);
+    fp_peeks(out, "announce", state_.announce);
+    fp_values(out, "elected", elected_);
+    return out.str();
   }
 
  private:
@@ -170,6 +213,25 @@ class FvtInstance : public SystemInstance {
     return std::nullopt;
   }
 
+  std::string fingerprint(const sim::SimEnv&) override {
+    std::ostringstream out;
+    fp_field(out, "cas", state_.cas.peek());
+    fp_field(out, "cas_transitions", state_.cas.history().size());
+    fp_peeks(out, "confirm", state_.confirm);
+    fp_peeks(out, "announce", state_.announce);
+    out << "leaders=[";
+    for (const auto& outcome : outcomes_) {
+      if (outcome.has_value()) {
+        out << outcome->leader;
+      } else {
+        out << '?';
+      }
+      out << ',';
+    }
+    out << "];";
+    return out.str();
+  }
+
  protected:
   core::SimElectionState state_;
   int k_;
@@ -210,6 +272,75 @@ class RecoverableFvtInstance final : public FvtInstance {
 
  private:
   core::RestartBehavior behavior_;
+};
+
+/// Host for the seeded audit mutants: n processes each performing one
+/// operation on the lying register (plus, for kUnsyncedPeek, one pre-sync
+/// peek by p0).  The property check passes on every schedule — these bugs
+/// are invisible to it by construction — so any refutation must come from
+/// the audit layer.
+class AuditMutantInstance final : public SystemInstance {
+ public:
+  AuditMutantInstance(core::AuditMutant mutant, int n)
+      : mutant_(mutant), n_(n), hidden_("hidden"), stealth_("counter"),
+        cell_("cell", 0), seen_(static_cast<std::size_t>(n), -1) {}
+
+  void populate(sim::SimEnv& env) override {
+    for (int pid = 0; pid < n_; ++pid) {
+      env.add_process([this, pid](sim::Ctx& ctx) {
+        auto& mine = seen_[static_cast<std::size_t>(pid)];
+        switch (mutant_) {
+          case core::AuditMutant::kHiddenScratch:
+            mine = hidden_.read(ctx);
+            break;
+          case core::AuditMutant::kUnsyncedPeek:
+            if (pid == 0) {
+              // BUG: inspect shared state before the first sync — no
+              // granted window is open, so this read raced the launch.
+              ctx.access_token().read("cell");
+              peeked_ = cell_.peek();
+            }
+            mine = cell_.read(ctx);
+            break;
+          case core::AuditMutant::kStealthCounter:
+            mine = stealth_.read(ctx);
+            break;
+        }
+      });
+    }
+  }
+
+  std::optional<std::string> check(const sim::SimEnv&,
+                                   const sim::RunReport& report) override {
+    for (int pid = 0; pid < n_; ++pid) {
+      if (report.outcomes[static_cast<std::size_t>(pid)] ==
+          sim::ProcOutcome::kFailed) {
+        return "p" + std::to_string(pid) +
+               " failed: " + report.errors[static_cast<std::size_t>(pid)];
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::string fingerprint(const sim::SimEnv&) override {
+    std::ostringstream out;
+    fp_field(out, "hidden", hidden_.peek());
+    fp_field(out, "scratch", hidden_.scratch());
+    fp_field(out, "served", stealth_.peek());
+    fp_field(out, "cell", cell_.peek());
+    fp_field(out, "peeked", peeked_);
+    fp_values(out, "seen", seen_);
+    return out.str();
+  }
+
+ private:
+  core::AuditMutant mutant_;
+  int n_;
+  core::HiddenScratchRegister hidden_;
+  core::StealthCounterRegister stealth_;
+  sim::MwmrRegister<std::int64_t> cell_;
+  std::int64_t peeked_ = -1;
+  std::vector<std::int64_t> seen_;
 };
 
 }  // namespace
@@ -277,6 +408,20 @@ std::string RecoverableFvtSystem::name() const {
 
 std::unique_ptr<SystemInstance> RecoverableFvtSystem::make() const {
   return std::make_unique<RecoverableFvtInstance>(k_, n_, behavior_);
+}
+
+AuditMutantSystem::AuditMutantSystem(core::AuditMutant mutant, int n)
+    : mutant_(mutant), n_(n) {
+  expects(n >= 1, "audit mutant system needs at least one process");
+}
+
+std::string AuditMutantSystem::name() const {
+  return "audit[mutant=" + core::to_string(mutant_) +
+         ",n=" + std::to_string(n_) + "]";
+}
+
+std::unique_ptr<SystemInstance> AuditMutantSystem::make() const {
+  return std::make_unique<AuditMutantInstance>(mutant_, n_);
 }
 
 }  // namespace bss::explore

@@ -98,4 +98,24 @@ class RecoverableFvtSystem final : public ExplorableSystem {
   core::RestartBehavior behavior_;
 };
 
+/// Seeded soundness bugs for the access-ledger auditor
+/// (core/mutant_elections.h, AuditMutant): tiny systems whose registers lie
+/// to the exploration infrastructure — an undeclared scratch write, a peek
+/// outside any granted window, a "read" that mutates hidden state.  Their
+/// property check is clean on every schedule; only the audit layer
+/// (ExploreOptions::audit) refutes them.  The control (audit off) must
+/// explore them without violations — the determinism tests rely on it.
+class AuditMutantSystem final : public ExplorableSystem {
+ public:
+  explicit AuditMutantSystem(core::AuditMutant mutant, int n = 2);
+
+  std::string name() const override;
+  int process_count() const override { return n_; }
+  std::unique_ptr<SystemInstance> make() const override;
+
+ private:
+  core::AuditMutant mutant_;
+  int n_;
+};
+
 }  // namespace bss::explore

@@ -12,6 +12,8 @@
 #include <thread>
 #include <utility>
 
+#include "audit/commute_check.h"
+#include "audit/ledger.h"
 #include "runtime/sim_env.h"
 #include "util/checked.h"
 
@@ -80,6 +82,7 @@ using FaultPoint = std::pair<int, std::uint64_t>;
 /// the stop point.
 struct UnitCheckpoint {
   ExploreStats stats;
+  AuditSummary audit;
   std::set<FaultPoint> fault_points;
   bool budget_limited = false;
   bool fault_limited = false;
@@ -91,6 +94,7 @@ struct UnitCheckpoint {
 /// serial one.
 struct UnitResult {
   ExploreStats stats;
+  AuditSummary audit;
   std::set<FaultPoint> fault_points;
   std::vector<Counterexample> violations;
   std::vector<UnitCheckpoint> checkpoints;  ///< parallel to `violations`
@@ -310,6 +314,33 @@ bool advance(PassState& pass) {
   return false;
 }
 
+/// audit == false resolves through BSS_AUDIT (force-on only: the variable
+/// can switch the audit layer on under an existing binary — how CI audits
+/// the whole suite — but never disable an explicit request).
+bool resolve_audit(const ExploreOptions& options) {
+  if (options.audit) return true;
+  static const bool env_audit = [] {
+    const char* raw = std::getenv("BSS_AUDIT");
+    return raw != nullptr && raw[0] != '\0' &&
+           !(raw[0] == '0' && raw[1] == '\0');
+  }();
+  return env_audit;
+}
+
+/// Worker-count-independent schedule sampling for the commutation
+/// cross-check: FNV-1a over the canonical decision tape, so the same
+/// schedules are selected no matter how the pass was sharded or merged.
+bool commute_sampled(const std::vector<int>& tape, std::uint32_t sample) {
+  if (sample == 0) return false;
+  if (sample == 1) return true;
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const int decision : tape) {
+    hash ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(decision));
+    hash *= 1099511628211ULL;
+  }
+  return hash % sample == 0;
+}
+
 std::vector<int> parked_pids(const sim::SimEnv& env) {
   std::vector<int> runnable;
   for (int pid = 0; pid < env.process_count(); ++pid) {
@@ -344,10 +375,20 @@ RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
   std::uint64_t run_transitions = 0;
   std::uint64_t run_faults = 0;
   std::vector<FaultPoint> run_fault_points;
+  std::optional<audit::Auditor> auditor;
+  if (opts.audit) auditor.emplace();
+  // Execution deltas — audit counters included — buffer here and commit
+  // only when the run actually finishes; a sharded run's deltas are dropped
+  // and re-counted by the worker, keeping parallel results byte-identical.
   const auto commit = [&] {
     unit.stats.transitions += run_transitions;
     unit.stats.faults_injected += run_faults;
     unit.fault_points.insert(run_fault_points.begin(), run_fault_points.end());
+    if (auditor.has_value()) {
+      unit.audit.windows += auditor->windows();
+      unit.audit.accesses += auditor->accesses();
+      unit.audit.ledger_violations += auditor->violation_count();
+    }
   };
   auto instance = system.make();
   sim::SimOptions sim_options;
@@ -357,6 +398,7 @@ RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
   instance->populate(env);
   expects(env.process_count() <= 64,
           "the fault-aware explorer supports at most 64 processes");
+  if (auditor.has_value()) env.set_access_observer(&*auditor);
   env.start();
 
   std::vector<int> actions;
@@ -444,7 +486,35 @@ RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
   }
   const sim::RunReport report = env.snapshot_report();
   outcome.violation = instance->check(env, report);
-  if (outcome.violation.has_value()) outcome.decisions = std::move(actions);
+  if (!outcome.violation.has_value() && auditor.has_value() &&
+      !auditor->clean()) {
+    // Ledger / footprint violations become ordinary counterexamples (so
+    // they minimize and serialize like property violations), but only when
+    // the property check is clean — real violations take precedence.
+    outcome.violation = auditor->summary();
+    for (const auto& violation : auditor->violations()) {
+      unit.audit.note(violation.to_string());
+    }
+  }
+  if (outcome.violation.has_value()) {
+    outcome.decisions = std::move(actions);
+  } else if (auditor.has_value() &&
+             commute_sampled(actions, opts.audit_commute_sample)) {
+    // Differential cross-check of the POR commutation oracle: replay this
+    // schedule with adjacent independent operations swapped; any deviation
+    // in the final state refutes ops_commute (and with it the sleep sets).
+    const audit::CommuteCheckReport cross = audit::cross_check_commutation(
+        system, actions, [](const sim::OpDesc& a, const sim::OpDesc& b) {
+          return ops_commute(a, b);
+        });
+    ++unit.audit.schedules_cross_checked;
+    unit.audit.pairs_considered += cross.pairs_considered;
+    unit.audit.swaps_replayed += cross.swaps_replayed;
+    unit.audit.commute_mismatches += cross.mismatches.size();
+    for (const auto& mismatch : cross.mismatches) {
+      unit.audit.note("commute mismatch: " + mismatch.detail);
+    }
+  }
   return outcome;
 }
 
@@ -488,6 +558,13 @@ TapeResult run_tape(const ExplorableSystem& system, const ExploreOptions& opts,
   sim::SimEnv env(sim_options);
   instance->populate(env);
   const int n = env.process_count();
+  std::optional<audit::Auditor> auditor;
+  if (opts.audit) {
+    // Replays audit too, so audit-found counterexamples reproduce (and
+    // minimize) through the same machinery as property violations.
+    auditor.emplace();
+    env.set_access_observer(&*auditor);
+  }
   env.start();
 
   std::size_t next = 0;
@@ -548,6 +625,9 @@ TapeResult run_tape(const ExplorableSystem& system, const ExploreOptions& opts,
   if (violation.has_value()) {
     result.reproduced = true;
     result.violation = *violation;
+  } else if (auditor.has_value() && !auditor->clean()) {
+    result.reproduced = true;
+    result.violation = auditor->summary();
   }
   return result;
 }
@@ -572,6 +652,7 @@ struct MergeOutcome {
 
 void fold_unit(UnitResult& into, const UnitResult& from) {
   into.stats.merge_from(from.stats);
+  into.audit.merge_from(from.audit);
   into.fault_points.insert(from.fault_points.begin(), from.fault_points.end());
   into.budget_limited |= from.budget_limited;
   into.fault_limited |= from.fault_limited;
@@ -583,6 +664,7 @@ void record_violation(UnitResult& unit, Counterexample cex) {
   unit.violations.push_back(std::move(cex));
   UnitCheckpoint cp;
   cp.stats = unit.stats;
+  cp.audit = unit.audit;
   cp.fault_points = unit.fault_points;
   cp.budget_limited = unit.budget_limited;
   cp.fault_limited = unit.fault_limited;
@@ -805,6 +887,7 @@ MergeOutcome merge_pass(std::vector<PassUnit>& units,
     if (cut.has_value()) {
       const UnitCheckpoint& cp = unit.checkpoints[*cut];
       result.stats.merge_from(cp.stats);
+      result.audit.merge_from(cp.audit);
       fault_points.insert(cp.fault_points.begin(), cp.fault_points.end());
       out.budget_limited |= cp.budget_limited;
       out.fault_limited |= cp.fault_limited;
@@ -815,6 +898,7 @@ MergeOutcome merge_pass(std::vector<PassUnit>& units,
       break;
     }
     result.stats.merge_from(unit.stats);
+    result.audit.merge_from(unit.audit);
     fault_points.insert(unit.fault_points.begin(), unit.fault_points.end());
     out.budget_limited |= unit.budget_limited;
     out.fault_limited |= unit.fault_limited;
@@ -875,8 +959,10 @@ std::size_t Counterexample::fault_count() const {
 
 Counterexample minimize_counterexample(const ExplorableSystem& system,
                                        Counterexample cex,
-                                       const ExploreOptions& options,
+                                       const ExploreOptions& requested,
                                        ExploreStats* stats) {
+  ExploreOptions options = requested;
+  options.audit = resolve_audit(requested);
   std::uint64_t used = 0;
   const auto count_run = [&] {
     ++used;
@@ -944,7 +1030,9 @@ Counterexample minimize_counterexample(const ExplorableSystem& system,
 
 ReplayOutcome replay_counterexample(const ExplorableSystem& system,
                                     const Counterexample& cex,
-                                    const ExploreOptions& options) {
+                                    const ExploreOptions& requested) {
+  ExploreOptions options = requested;
+  options.audit = resolve_audit(requested);
   TapeResult result = run_tape(system, options, cex.decisions);
   ReplayOutcome outcome;
   outcome.violated = result.reproduced;
@@ -956,8 +1044,11 @@ ReplayOutcome replay_counterexample(const ExplorableSystem& system,
 }
 
 ExploreResult explore(const ExplorableSystem& system,
-                      const ExploreOptions& options) {
+                      const ExploreOptions& requested) {
+  ExploreOptions options = requested;
+  options.audit = resolve_audit(requested);
   ExploreResult result;
+  result.audit.enabled = options.audit;
   const int jobs = resolve_jobs(options);
   const std::size_t shard_at = resolve_shard_depth(options, system, jobs);
 
@@ -1060,6 +1151,34 @@ std::string ExploreStats::summary() const {
     out << " faults=" << faults_injected << " fault-points=" << fault_points
         << " fault-prunes=" << fault_prunes;
   }
+  return out.str();
+}
+
+void AuditSummary::note(std::string finding) {
+  if (findings.size() < kMaxFindings) findings.push_back(std::move(finding));
+}
+
+void AuditSummary::merge_from(const AuditSummary& other) {
+  enabled |= other.enabled;
+  windows += other.windows;
+  accesses += other.accesses;
+  ledger_violations += other.ledger_violations;
+  schedules_cross_checked += other.schedules_cross_checked;
+  pairs_considered += other.pairs_considered;
+  swaps_replayed += other.swaps_replayed;
+  commute_mismatches += other.commute_mismatches;
+  for (const auto& finding : other.findings) note(finding);
+}
+
+std::string AuditSummary::summary() const {
+  if (!enabled) return "audit: off";
+  std::ostringstream out;
+  out << "audit: windows=" << windows << " accesses=" << accesses
+      << " ledger-violations=" << ledger_violations
+      << " cross-checked=" << schedules_cross_checked
+      << " pairs=" << pairs_considered << " swaps=" << swaps_replayed
+      << " commute-mismatches=" << commute_mismatches;
+  if (!findings.empty()) out << "\n  first: " << findings.front();
   return out.str();
 }
 

@@ -175,6 +175,50 @@ struct ExploreOptions {
   /// outright.  Any value produces identical results — the knob trades
   /// enumeration overhead against load balance.
   int shard_depth = -1;
+  /// Soundness audit (src/audit): attach an access-ledger auditor to every
+  /// run — flagging unsynchronized register access, wrong-process access and
+  /// declared-footprint violations — and differentially cross-check the POR
+  /// commutation oracle on sampled schedules (replay with adjacent
+  /// independent operations swapped; final states must match).  The layer is
+  /// determinism-preserving: on audit-clean systems, audit on/off yields
+  /// byte-identical schedules, stats and artifacts.  Ledger and footprint
+  /// findings surface as ordinary Counterexamples (property violations take
+  /// precedence); oracle refutations and counters surface through
+  /// ExploreResult::audit.  false resolves through the BSS_AUDIT
+  /// environment variable (force-on only, how CI audits the whole suite).
+  bool audit = false;
+  /// Cross-check one in this many completed schedules, selected by an
+  /// FNV-1a hash of the canonical decision tape — the same schedules are
+  /// picked for every worker count and shard depth.  1 checks every
+  /// schedule; 0 disables the cross-check.
+  std::uint32_t audit_commute_sample = 16;
+};
+
+/// Aggregated audit-layer results (ExploreOptions::audit).  Deliberately
+/// kept OUT of ExploreStats and ExploreResult::summary(): the explorer's
+/// ordinary output must stay byte-identical with the audit on or off, so
+/// audit results are read explicitly from ExploreResult::audit.
+struct AuditSummary {
+  bool enabled = false;                 ///< the audit layer was attached
+  std::uint64_t windows = 0;            ///< granted op windows observed
+  std::uint64_t accesses = 0;           ///< token-reported register accesses
+  std::uint64_t ledger_violations = 0;  ///< races + footprint violations
+                                        ///< observed (prefix replays count)
+  std::uint64_t schedules_cross_checked = 0;
+  std::uint64_t pairs_considered = 0;   ///< adjacent independent pairs seen
+  std::uint64_t swaps_replayed = 0;
+  std::uint64_t commute_mismatches = 0; ///< commutation-oracle refutations
+  /// First findings, human-readable (ledger violations that became
+  /// counterexamples, commutation mismatches); capped at kMaxFindings.
+  static constexpr std::size_t kMaxFindings = 32;
+  std::vector<std::string> findings;
+
+  bool clean() const {
+    return ledger_violations == 0 && commute_mismatches == 0;
+  }
+  void note(std::string finding);
+  void merge_from(const AuditSummary& other);
+  std::string summary() const;
 };
 
 struct ExploreStats {
@@ -225,6 +269,8 @@ struct Counterexample {
 struct ExploreResult {
   ExploreStats stats;
   std::vector<Counterexample> violations;
+  /// Audit-layer results; all-zero (enabled == false) when the audit is off.
+  AuditSummary audit;
   /// True iff the schedule space was fully covered: no preemption-budget
   /// prune, no depth truncation, no schedule cap, exploration ran to
   /// completion.  With use_por the coverage is up to commutation

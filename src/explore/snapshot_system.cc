@@ -1,5 +1,7 @@
 #include "explore/snapshot_system.h"
 
+#include <cstdint>
+#include <sstream>
 #include <vector>
 
 #include "registers/snapshot.h"
@@ -44,6 +46,14 @@ class SnapshotInstance final : public SystemInstance {
       return "scan history not linearizable: " + result.detail;
     }
     return std::nullopt;
+  }
+
+  std::string fingerprint(const sim::SimEnv&) override {
+    std::ostringstream out;
+    out << "cells=[";
+    for (const std::int64_t value : snapshot_.peek()) out << value << ',';
+    out << "];ops=" << history_.size() << ';';
+    return out.str();
   }
 
  private:

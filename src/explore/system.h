@@ -46,6 +46,18 @@ class SystemInstance {
   /// (step-limited) runs.  Returns the violation, or nullopt if correct.
   virtual std::optional<std::string> check(const sim::SimEnv& env,
                                            const sim::RunReport& report) = 0;
+
+  /// Deterministic serialization of the instance's final state — shared
+  /// register values plus per-process results — for the audit layer's
+  /// differential commutation cross-check (src/audit/commute_check.h),
+  /// which demands byte-identical fingerprints after swapping independent
+  /// operations.  Two runs reaching the same final state must return the
+  /// same string.  The default (empty) opts out: the cross-check then
+  /// compares traces, reports and verdicts only.
+  virtual std::string fingerprint(const sim::SimEnv& env) {
+    (void)env;
+    return {};
+  }
 };
 
 /// A named, repeatable source of fresh SystemInstances.

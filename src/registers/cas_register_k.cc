@@ -28,6 +28,7 @@ int CasRegisterK::compare_and_swap(Ctx& ctx, int expect, int next) {
   check_symbol(expect, "expected");
   check_symbol(next, "new");
   ctx.sync({name_, "cas", expect, next});
+  ctx.access_token().write(name_);
   count_access(ctx.pid());
   const int prev = value_;
   if (prev == expect && next != prev) {
@@ -40,6 +41,7 @@ int CasRegisterK::compare_and_swap(Ctx& ctx, int expect, int next) {
 
 int CasRegisterK::read(Ctx& ctx) const {
   ctx.sync({name_, "read", 0, 0});
+  ctx.access_token().read(name_);
   count_access(ctx.pid());
   ctx.note_result(value_);
   return value_;

@@ -20,6 +20,7 @@ class FetchAdd {
   /// Atomically adds `delta`; returns the previous value.
   std::int64_t fetch_add(Ctx& ctx, std::int64_t delta) {
     ctx.sync({name_, "faa", delta, 0});
+    ctx.access_token().write(name_);
     const std::int64_t prev = value_;
     value_ += delta;
     ctx.note_result(prev);
@@ -28,6 +29,7 @@ class FetchAdd {
 
   std::int64_t read(Ctx& ctx) const {
     ctx.sync({name_, "read", 0, 0});
+    ctx.access_token().read(name_);
     ctx.note_result(value_);
     return value_;
   }

@@ -29,6 +29,9 @@ class LlScRegisterK {
   /// version.
   int load_link(Ctx& ctx) {
     ctx.sync({name_, "ll", 0, 0});
+    // An LL mutates the object's hidden link state, so it is a write for
+    // commutation purposes — exactly how ops_commute treats it.
+    ctx.access_token().write(name_);
     link(ctx.pid()) = version_;
     ctx.note_result(value_);
     return value_;
@@ -41,6 +44,7 @@ class LlScRegisterK {
   bool store_conditional(Ctx& ctx, int next) {
     expects(next >= 0 && next < k_, "LL/SC store outside value domain");
     ctx.sync({name_, "sc", next, 0});
+    ctx.access_token().write(name_);
     const bool spurious = ctx.take_sc_failure();
     const bool ok = !spurious && link(ctx.pid()) == version_;
     if (ok) {

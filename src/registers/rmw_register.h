@@ -35,6 +35,7 @@ class RmwRegisterK {
   /// f's result must stay inside the k-value domain.
   int read_modify_write(Ctx& ctx, const std::function<int(int)>& f) {
     ctx.sync({name_, "rmw", 0, 0});
+    ctx.access_token().write(name_);
     const int prev = value_;
     const int next = f(prev);
     expects(next >= 0 && next < k_, "RMW modification left the value domain");
@@ -48,6 +49,7 @@ class RmwRegisterK {
 
   int read(Ctx& ctx) const {
     ctx.sync({name_, "read", 0, 0});
+    ctx.access_token().read(name_);
     ctx.note_result(value_);
     return value_;
   }

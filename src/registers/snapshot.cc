@@ -17,7 +17,9 @@ AtomicSnapshot::AtomicSnapshot(std::string name, int n,
 std::vector<AtomicSnapshot::Cell> AtomicSnapshot::collect(Ctx& ctx) const {
   std::vector<Cell> copy(static_cast<std::size_t>(n_));
   for (int i = 0; i < n_; ++i) {
-    ctx.sync({name_ + "[" + std::to_string(i) + "]", "read", 0, 0});
+    const std::string cell = name_ + "[" + std::to_string(i) + "]";
+    ctx.sync({cell, "read", 0, 0});
+    ctx.access_token().read(cell);
     copy[static_cast<std::size_t>(i)] = cells_[static_cast<std::size_t>(i)];
     const auto pid = static_cast<std::size_t>(ctx.pid());
     if (last_scan_reads_.size() <= pid) last_scan_reads_.resize(pid + 1, 0);
@@ -38,7 +40,9 @@ void AtomicSnapshot::update(Ctx& ctx, int component, std::int64_t value) {
   // updater; this is what makes scan() wait-free.
   std::vector<std::int64_t> view = scan(ctx);
   Cell& cell = cells_[static_cast<std::size_t>(component)];
-  ctx.sync({name_ + "[" + std::to_string(component) + "]", "write", value, 0});
+  const std::string cell_name = name_ + "[" + std::to_string(component) + "]";
+  ctx.sync({cell_name, "write", value, 0});
+  ctx.access_token().write(cell_name);
   cell.value = value;
   ++cell.seq;
   cell.writer = ctx.pid();

@@ -21,6 +21,7 @@ class StickyRegister {
   /// at — `value` itself iff this proposal won.
   std::int64_t propose(Ctx& ctx, std::int64_t value) {
     ctx.sync({name_, "propose", value, 0});
+    ctx.access_token().write(name_);
     if (value_ == kUnset) value_ = value;
     ctx.note_result(value_);
     return value_;
@@ -28,6 +29,7 @@ class StickyRegister {
 
   std::int64_t read(Ctx& ctx) const {
     ctx.sync({name_, "read", 0, 0});
+    ctx.access_token().read(name_);
     ctx.note_result(value_);
     return value_;
   }

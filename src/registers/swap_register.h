@@ -18,6 +18,7 @@ class SwapRegister {
   /// Atomically writes `next` and returns the previous value.
   std::int64_t swap(Ctx& ctx, std::int64_t next) {
     ctx.sync({name_, "swap", next, 0});
+    ctx.access_token().write(name_);
     const std::int64_t prev = value_;
     value_ = next;
     ctx.note_result(prev);
@@ -26,6 +27,7 @@ class SwapRegister {
 
   std::int64_t read(Ctx& ctx) const {
     ctx.sync({name_, "read", 0, 0});
+    ctx.access_token().read(name_);
     ctx.note_result(value_);
     return value_;
   }

@@ -27,12 +27,14 @@ class SwmrRegister {
 
   T read(Ctx& ctx) const {
     ctx.sync({name_, "read", 0, 0});
+    ctx.access_token().read(name_);
     ctx.note_result(trace_encode(value_));
     return value_;
   }
 
   void write(Ctx& ctx, T value) {
     ctx.sync({name_, "write", trace_encode(value), 0});
+    ctx.access_token().write(name_);
     if (writer_ == kAnyWriter) writer_ = ctx.pid();
     expects(writer_ == ctx.pid(), "SWMR register written by a second writer");
     value_ = std::move(value);

@@ -19,6 +19,7 @@ class TestAndSet {
   /// unique winner).
   bool test_and_set(Ctx& ctx) {
     ctx.sync({name_, "tas", 0, 0});
+    ctx.access_token().write(name_);
     const bool prev = set_;
     set_ = true;
     ctx.note_result(prev ? 1 : 0);
@@ -27,6 +28,7 @@ class TestAndSet {
 
   bool read(Ctx& ctx) const {
     ctx.sync({name_, "read", 0, 0});
+    ctx.access_token().read(name_);
     ctx.note_result(set_ ? 1 : 0);
     return set_;
   }

@@ -31,6 +31,7 @@ class WriteOnceRmwK {
   /// Identity applications (reads in RMW form) are always allowed.
   int read_modify_write(Ctx& ctx, const std::function<int(int)>& f) {
     ctx.sync({name_, "rmw1", 0, 0});
+    ctx.access_token().write(name_);
     const int prev = value_;
     const int next = f(prev);
     expects(next >= 0 && next < k_, "RMW modification left the value domain");

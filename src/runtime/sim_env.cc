@@ -72,6 +72,16 @@ std::int64_t Ctx::take_injection() {
   return value;
 }
 
+audit::AccessToken Ctx::access_token() const {
+  // The window serial is the global step of the grant: step_ is stable for
+  // the whole window (the engine increments it only after the op parks
+  // again), and every grant bumps it, so serials are unique per window.
+  const std::uint64_t window = env_->window_pid_ == pid_
+                                   ? env_->step_
+                                   : audit::AccessToken::kNoWindow;
+  return {env_->observer_, pid_, window};
+}
+
 bool Ctx::take_sc_failure() {
   bool& pending = env_->procs_[static_cast<std::size_t>(pid_)].sc_failure_pending;
   const bool fail = pending;
@@ -109,6 +119,11 @@ int SimEnv::add_process(std::function<void(Ctx&)> body,
   bodies_.push_back(std::move(body));
   restart_hooks_.push_back(std::move(restart_hook));
   return checked_cast<int>(bodies_.size()) - 1;
+}
+
+void SimEnv::set_access_observer(audit::AccessObserver* observer) {
+  expects(!ran_ && !started_, "set_access_observer after the run began");
+  observer_ = observer;
 }
 
 bool SimEnv::restart_supported(int pid) const {
@@ -224,8 +239,15 @@ TraceEvent SimEnv::step_process(int pid) {
   const OpDesc granted = proc.pending;
   proc.last_result.reset();
   proc.state = State::kRunning;
+  window_pid_ = pid;
+  if (observer_ != nullptr) observer_->on_window_begin(pid, granted, step_);
   proc.go->release();
   arrived_.acquire();
+  window_pid_ = -1;
+  if (observer_ != nullptr) {
+    observer_->on_window_end(
+        pid, proc.state == State::kDone && proc.outcome != ProcOutcome::kFinished);
+  }
   TraceEvent event;
   event.step = step_++;
   event.pid = pid;
@@ -389,8 +411,15 @@ RunReport SimEnv::run(Scheduler& scheduler, const FaultPlan& faults) {
     }
     proc.last_result.reset();
     proc.state = State::kRunning;
+    window_pid_ = pid;
+    if (observer_ != nullptr) observer_->on_window_begin(pid, granted, step_);
     proc.go->release();
     arrived_.acquire();  // the process parked again or finished
+    window_pid_ = -1;
+    if (observer_ != nullptr) {
+      observer_->on_window_end(pid, proc.state == State::kDone &&
+                                        proc.outcome != ProcOutcome::kFinished);
+    }
     proc.sc_failure_pending = false;  // a fault the op did not consume lapses
 
     if (options_.record_trace) {

@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "audit/ledger.h"
 #include "runtime/fault_plan.h"
 #include "runtime/scheduler.h"
 #include "runtime/trace.h"
@@ -81,6 +82,15 @@ class Ctx {
   /// SimEnv::inject_sc_failure).  Consuming clears the mark; the LL/SC
   /// object calls this once per SC.
   bool take_sc_failure();
+
+  /// Checks out this process's access-ledger stamp for the grant window the
+  /// last sync() opened.  Shared objects call token.read/write(name) on
+  /// every load/store of shared state; with no observer attached (the
+  /// default) the token is inert.  A token checked out with no window open
+  /// (body code ahead of its first sync) carries AccessToken::kNoWindow —
+  /// using it to touch shared state is exactly the unsynced access the
+  /// auditor reports.
+  audit::AccessToken access_token() const;
 
  private:
   friend class SimEnv;
@@ -145,6 +155,13 @@ class SimEnv {
   bool restart_supported(int pid) const;
 
   int process_count() const { return static_cast<int>(bodies_.size()); }
+
+  /// Attaches an access-ledger observer (src/audit) before the run: the
+  /// engine brackets every granted operation with on_window_begin/end and
+  /// instrumented objects stamp their accesses through Ctx::access_token().
+  /// Observers are passive — attaching one changes neither scheduling nor
+  /// results — and must outlive the run.  Call before run()/start().
+  void set_access_observer(audit::AccessObserver* observer);
 
   /// Executes the system to quiescence (all processes finished/crashed) or
   /// to the step limit.  May be called exactly once (and not after start()).
@@ -225,6 +242,8 @@ class SimEnv {
   void launch();  // build procs_ and serially start the threads
 
   SimOptions options_;
+  audit::AccessObserver* observer_ = nullptr;
+  int window_pid_ = -1;  ///< grantee of the currently open window, or -1
   std::vector<std::function<void(Ctx&)>> bodies_;
   std::vector<std::function<void(Ctx&)>> restart_hooks_;  // empty = fail-stop only
   std::vector<Proc> procs_;

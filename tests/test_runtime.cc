@@ -312,6 +312,39 @@ TEST(Trace, FiltersAndCounts) {
   EXPECT_NE(trace.to_string().find("b.write"), std::string::npos);
 }
 
+TEST(Trace, HelpersOnEmptyTrace) {
+  const Trace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_TRUE(trace.for_object("a").empty());
+  EXPECT_TRUE(trace.for_pid(0).empty());
+  EXPECT_EQ(trace.count(0), 0u);
+  EXPECT_EQ(trace.count(0, "read"), 0u);
+  EXPECT_EQ(trace.to_string().find("... ("), std::string::npos);
+}
+
+TEST(Trace, HelpersOnUnknownNamesAndPids) {
+  Trace trace;
+  trace.append({0, 1, {"a", "read", 0, 0}, 0, false});
+  EXPECT_TRUE(trace.for_object("no-such-object").empty());
+  EXPECT_TRUE(trace.for_pid(7).empty());
+  EXPECT_TRUE(trace.for_pid(-1).empty());
+  EXPECT_EQ(trace.count(7), 0u);
+  EXPECT_EQ(trace.count(1, "no-such-op"), 0u);
+}
+
+TEST(Trace, ToStringTruncatesLongTraces) {
+  Trace trace;
+  for (int i = 0; i < 10; ++i) {
+    trace.append({static_cast<std::uint64_t>(i), 0, {"a", "read", 0, 0}, 0,
+                  false});
+  }
+  const std::string text = trace.to_string(3);
+  EXPECT_NE(text.find("... (7 more)"), std::string::npos) << text;
+  // At the exact limit nothing is elided.
+  EXPECT_EQ(trace.to_string(10).find("more)"), std::string::npos);
+}
+
 TEST(CrashPlan, RandomPlanRespectsProbabilityEdges) {
   Rng rng(11);
   const CrashPlan none = CrashPlan::random(20, 0.0, 10, rng);
