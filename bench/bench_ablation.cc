@@ -13,6 +13,8 @@
 // runs; no policy ever produces two leaders.
 #include <cstdio>
 
+#include "bench_flags.h"
+#include "bench_report.h"
 #include "core/election_validator.h"
 #include "core/sim_election.h"
 #include "util/checked.h"
@@ -25,7 +27,8 @@ struct AblationRow {
   bss::core::ElectPolicy policy;
 };
 
-void run_policy(const AblationRow& row, int k, int n, int trials) {
+void run_policy(const AblationRow& row, int k, int n, int trials,
+                bss::bench::BenchReport& bench_report) {
   int decided_all = 0;
   int gave_up_runs = 0;
   int inconsistent = 0;
@@ -62,11 +65,21 @@ void run_policy(const AblationRow& row, int k, int n, int trials) {
   }
   std::printf("%-22s %10.0f%% %12d %14d\n", row.name,
               100.0 * decided_all / trials, gave_up_runs, inconsistent);
+  bss::obs::json::Object object;
+  object.emplace("policy", row.name);
+  object.emplace("trials", trials);
+  object.emplace("all_decided_runs", decided_all);
+  object.emplace("gave_up_runs", gave_up_runs);
+  object.emplace("inconsistent_runs", inconsistent);
+  bench_report.row(std::move(object));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bss::bench::BenchFlags flags = bss::bench::parse_flags(
+      argc, argv, /*accepts_jobs=*/false, /*accepts_json=*/false);
+  bss::bench::BenchReport report(flags, "bench_ablation");
   constexpr int kK = 5;
   constexpr int kN = 24;
   constexpr int kTrials = 60;
@@ -86,11 +99,12 @@ int main() {
   rows[2].policy.helper_confirm = false;
   rows[2].policy.allow_incomplete = true;
 
-  for (const auto& row : rows) run_policy(row, kK, kN, kTrials);
+  for (const auto& row : rows) run_policy(row, kK, kN, kTrials, report);
 
   std::printf(
       "\nshape: removing either helping rule costs only LIVENESS (give-ups\n"
       "appear under crashes) and never SAFETY (zero inconsistent runs) —\n"
       "the algorithm degrades the way the wait-freedom argument predicts.\n");
+  report.finalize();
   return 0;
 }

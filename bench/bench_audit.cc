@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench_flags.h"
+#include "bench_report.h"
 #include "explore/election_systems.h"
 #include "explore/explore.h"
 
@@ -146,10 +147,28 @@ int main(int argc, char** argv) {
     add("fvt[3,2]", bss::explore::FvtSystem(3, 2), options);
   }
 
+  bss::bench::BenchReport report(flags, "bench_audit");
+  for (const Row& row : rows) {
+    bss::obs::json::Object object;
+    object.emplace("system", bss::obs::json::Value(row.system));
+    object.emplace("audit", bss::obs::json::Value(row.mode));
+    object.emplace("schedules",
+                   bss::obs::json::Value(row.result.stats.schedules));
+    object.emplace("windows", bss::obs::json::Value(row.result.audit.windows));
+    object.emplace("accesses",
+                   bss::obs::json::Value(row.result.audit.accesses));
+    object.emplace("swaps_replayed",
+                   bss::obs::json::Value(row.result.audit.swaps_replayed));
+    object.emplace("seconds", bss::obs::json::Value(row.seconds));
+    object.emplace("overhead", bss::obs::json::Value(row.overhead));
+    report.row(std::move(object));
+  }
+
   if (flags.json) {
     print_json(rows);
   } else {
     print_table(rows);
   }
+  report.finalize();
   return 0;
 }

@@ -8,6 +8,8 @@
 // read/write registers add power to bounded objects.
 #include <cstdio>
 
+#include "bench_flags.h"
+#include "bench_report.h"
 #include "burns/burns_election.h"
 #include "checker/consensus_check.h"
 #include "core/capacity.h"
@@ -21,7 +23,7 @@ std::vector<std::vector<int>> identity_inputs(int n) {
   return {inputs};
 }
 
-void print_single() {
+void print_single(bss::bench::BenchReport& bench_report) {
   std::printf("T4a — one k-valued write-once RMW register, no R/W registers\n");
   std::printf("%3s %10s %12s %12s %16s\n", "k", "n=k-1", "elects?",
               "n=k", "checker-says");
@@ -38,11 +40,17 @@ void print_single() {
     }
     std::printf("%3d %10d %12s %12d %16s\n", k, k - 1,
                 report.consistent ? "yes" : "NO", k, refuted.c_str());
+    bss::obs::json::Object object;
+    object.emplace("kind", "single");
+    object.emplace("k", k);
+    object.emplace("elects_at_k_minus_1", report.consistent);
+    object.emplace("checker_at_k", refuted);
+    bench_report.row(std::move(object));
   }
   std::printf("\n");
 }
 
-void print_product() {
+void print_product(bss::bench::BenchReport& bench_report) {
   std::printf("T4b — multiplicative composition (closed model)\n");
   std::printf("%-14s %10s %10s %10s\n", "sizes", "capacity", "n-run",
               "elects?");
@@ -62,11 +70,18 @@ void print_product() {
     std::printf("%-14s %10llu %10d %10s\n", rendered.c_str(),
                 static_cast<unsigned long long>(probe.capacity()), n,
                 report.consistent ? "yes" : "NO");
+    bss::obs::json::Object object;
+    object.emplace("kind", "product");
+    object.emplace("sizes", rendered);
+    object.emplace("capacity", probe.capacity());
+    object.emplace("n_run", n);
+    object.emplace("elects", report.consistent);
+    bench_report.row(std::move(object));
   }
   std::printf("\n");
 }
 
-void print_contrast() {
+void print_contrast(bss::bench::BenchReport& bench_report) {
   std::printf("T4c — the paper's contrast: same object, +/- R/W registers\n");
   std::printf("%3s %22s %26s %14s\n", "k", "write-once RMW alone",
               "c&s-(k) + R/W registers", "amplification");
@@ -74,6 +89,13 @@ void print_contrast() {
     const auto row = bss::core::capacity_row(k);
     std::printf("%3d %22s %26s %13.0fx\n", k, row.burns.to_decimal().c_str(),
                 row.lower.to_decimal().c_str(), row.rw_amplification);
+    bss::obs::json::Object object;
+    object.emplace("kind", "contrast");
+    object.emplace("k", k);
+    object.emplace("burns", row.burns.to_decimal());
+    object.emplace("with_rw", row.lower.to_decimal());
+    object.emplace("amplification", row.rw_amplification);
+    bench_report.row(std::move(object));
   }
   std::printf(
       "\nshape: k-1 vs (k-1)! — free read/write registers turn linear\n"
@@ -83,9 +105,13 @@ void print_contrast() {
 
 }  // namespace
 
-int main() {
-  print_single();
-  print_product();
-  print_contrast();
+int main(int argc, char** argv) {
+  const bss::bench::BenchFlags flags = bss::bench::parse_flags(
+      argc, argv, /*accepts_jobs=*/false, /*accepts_json=*/false);
+  bss::bench::BenchReport report(flags, "bench_burns");
+  print_single(report);
+  print_product(report);
+  print_contrast(report);
+  report.finalize();
   return 0;
 }

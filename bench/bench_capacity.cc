@@ -13,6 +13,8 @@
 #include <memory>
 #include <string>
 
+#include "bench_flags.h"
+#include "bench_report.h"
 #include "core/capacity.h"
 #include "core/composed_election.h"
 #include "core/election_validator.h"
@@ -30,7 +32,7 @@ std::string clipped(const bss::BigUint& value, int max_digits = 24) {
   return digits.substr(0, 6) + "...e+" + std::to_string(digits.size() - 1);
 }
 
-void print_bounds_table() {
+void print_bounds_table(bss::bench::BenchReport& report) {
   std::printf("T1a — capacity bounds for one compare&swap-(k) (+ R/W registers)\n");
   std::printf("%3s %12s %16s %18s %26s %10s\n", "k", "burns=k-1",
               "lower=(k-1)!", "conjecture=k!", "upper=k^(k^2+3)",
@@ -42,6 +44,15 @@ void print_bounds_table() {
                 row.lower.to_decimal().c_str(),
                 row.conjectured.to_decimal().c_str(),
                 clipped(row.upper).c_str(), row.gap_digits);
+    bss::obs::json::Object object;
+    object.emplace("kind", "bounds");
+    object.emplace("k", k);
+    object.emplace("burns", row.burns.to_decimal());
+    object.emplace("lower", row.lower.to_decimal());
+    object.emplace("conjectured", row.conjectured.to_decimal());
+    object.emplace("upper", row.upper.to_decimal());
+    object.emplace("gap_digits", row.gap_digits);
+    report.row(std::move(object));
   }
   std::printf(
       "\nshape: read/write registers amplify a bounded object from k-1 to\n"
@@ -49,7 +60,7 @@ void print_bounds_table() {
       "paper's conjectured Θ(k!) gap of many decimal orders.\n\n");
 }
 
-void print_witness_table() {
+void print_witness_table(bss::bench::BenchReport& bench_report) {
   std::printf("T1b — live witness of the lower bound: n = (k-1)! processes elect\n");
   std::printf("%3s %8s %14s %12s %12s %8s\n", "k", "n", "scheduler",
               "total-steps", "max-cas/proc", "verdict");
@@ -77,6 +88,15 @@ void print_witness_table() {
                   test_case.name.c_str(),
                   static_cast<unsigned long long>(report.run.total_steps),
                   max_cas, verdict.ok() ? "OK" : "FAIL");
+      bss::obs::json::Object object;
+      object.emplace("kind", "witness");
+      object.emplace("k", k);
+      object.emplace("n", n);
+      object.emplace("scheduler", test_case.name);
+      object.emplace("total_steps", report.run.total_steps);
+      object.emplace("max_cas_per_proc", max_cas);
+      object.emplace("ok", verdict.ok());
+      bench_report.row(std::move(object));
     }
   }
   std::printf(
@@ -84,7 +104,7 @@ void print_witness_table() {
       "O(k) compare&swap-access bound — n_k >= (k-1)! holds operationally.\n");
 }
 
-void print_composition_table() {
+void print_composition_table(bss::bench::BenchReport& bench_report) {
   std::printf(
       "\nT1c — multiple copies of the strong object (closed model; the\n"
       "paper's conclusions extension), witnessed live\n");
@@ -110,6 +130,16 @@ void print_composition_table() {
                     bss::core::composed_capacity(config.k, config.copies)),
                 config.n,
                 report.consistent && report.valid ? "OK" : "FAIL");
+    bss::obs::json::Object object;
+    object.emplace("kind", "composition");
+    object.emplace("k", config.k);
+    object.emplace("copies", config.copies);
+    object.emplace("burns_capacity", burns);
+    object.emplace("our_capacity",
+                   bss::core::composed_capacity(config.k, config.copies));
+    object.emplace("n_run", config.n);
+    object.emplace("ok", report.consistent && report.valid);
+    bench_report.row(std::move(object));
   }
   std::printf(
       "\nshape: factorial amplification per copy — (k-1)^r vs ((k-1)!)^r.\n");
@@ -117,9 +147,13 @@ void print_composition_table() {
 
 }  // namespace
 
-int main() {
-  print_bounds_table();
-  print_witness_table();
-  print_composition_table();
+int main(int argc, char** argv) {
+  const bss::bench::BenchFlags flags = bss::bench::parse_flags(
+      argc, argv, /*accepts_jobs=*/false, /*accepts_json=*/false);
+  bss::bench::BenchReport report(flags, "bench_capacity");
+  print_bounds_table(report);
+  print_witness_table(report);
+  print_composition_table(report);
+  report.finalize();
   return 0;
 }

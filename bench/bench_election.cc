@@ -14,6 +14,8 @@
 #include <string_view>
 #include <vector>
 
+#include "bench_gbench.h"
+
 #include "core/concurrent_election.h"
 #include "core/election_validator.h"
 #include "core/one_shot_election.h"
@@ -131,25 +133,21 @@ BENCHMARK(BM_OneShotElection)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
 
 // Hand-rolled main instead of BENCHMARK_MAIN(): `--json` is sugar for
 // google-benchmark's JSON reporter, so every bench binary in this repo
-// shares one machine-readable flag (EXPERIMENTS.md).  Flags are accepted in
-// any position; anything neither we nor google-benchmark recognize gets a
-// usage message instead of being silently ignored.
+// shares one machine-readable flag (EXPERIMENTS.md), and `--out PATH`
+// writes the shared bss-runreport v1 artifact (bench_gbench.h).  Flags are
+// accepted in any position; anything neither we nor google-benchmark
+// recognize gets a usage message instead of being silently ignored.
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  static char json_flag[] = "--benchmark_format=json";
-  for (auto& arg : args) {
-    if (std::string_view(arg) == "--json") arg = json_flag;
-  }
-  int args_count = bss::checked_cast<int>(args.size());
-  benchmark::Initialize(&args_count, args.data());
-  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+  auto pre = bss::bench::preprocess_gbench_args(argc, argv);
+  int args_count = bss::checked_cast<int>(pre.args.size());
+  benchmark::Initialize(&args_count, pre.args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, pre.args.data())) {
     std::fprintf(stderr,
-                 "usage: %s [--json] [google-benchmark flags]\n"
-                 "  --json   shorthand for --benchmark_format=json\n",
+                 "usage: %s [--json] [--out PATH] [google-benchmark flags]\n"
+                 "  --json     shorthand for --benchmark_format=json\n"
+                 "  --out PATH write a bss-runreport v1 artifact to PATH\n",
                  argv[0]);
     return 1;
   }
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return bss::bench::run_gbench_with_report(pre.flags, "bench_election");
 }

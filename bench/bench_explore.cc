@@ -13,18 +13,26 @@
 // invariant on the spot (identical schedules totals and identical violation
 // tapes), and replays a minimized artifact produced under the worker pool.
 //
+// The telemetry-overhead section re-runs the refutation workload with the
+// observability layer off, metrics-only, and metrics+events, verifying on
+// the spot that results are byte-identical in every mode (the ObsSink
+// passivity contract) and reporting the relative cost of each layer.
+//
 // `--json` prints the same rows as a JSON array instead of the tables;
 // `--jobs N` sets the explorer worker count (results are identical for
-// every N — only the rate moves).
+// every N — only the rate moves); `--out PATH` additionally writes a
+// `bss-runreport v1` artifact carrying every row.
 #include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_flags.h"
+#include "bench_report.h"
 #include "core/mutant_elections.h"
 #include "explore/election_systems.h"
 #include "explore/explore.h"
+#include "obs/obs.h"
 
 namespace {
 
@@ -205,6 +213,90 @@ void print_scaling_json(const std::vector<ScaleRow>& rows, bool more) {
   }
 }
 
+// --------------------------------------------------- telemetry overhead
+
+/// One observability configuration of the refutation workload.
+struct OverheadRow {
+  std::string mode;  ///< "off", "metrics", "metrics+events"
+  double seconds = 0;
+  std::uint64_t schedules = 0;
+  bool identical = true;  ///< results byte-identical to the "off" baseline
+};
+
+/// Runs the mutant-refutation workload under telemetry off / metrics-only /
+/// metrics+events and cross-checks that stats, coverage and every violation
+/// tape are byte-identical — the ObsSink passivity contract, asserted on
+/// the benchmark workload itself.
+std::vector<OverheadRow> run_overhead(int jobs) {
+  bss::explore::OneShotSystem claim_after(
+      4, 3, bss::core::OneShotMutant::kClaimAfterCas);
+  bss::explore::OneShotSystem split_cas(4, 3,
+                                        bss::core::OneShotMutant::kSplitCas);
+  const std::vector<const ExplorableSystem*> mutants = {&claim_after,
+                                                        &split_cas};
+
+  std::vector<OverheadRow> rows;
+  std::vector<ExploreResult> baseline;
+  for (const char* mode : {"off", "metrics", "metrics+events"}) {
+    bss::obs::Telemetry::Options obs_options;
+    obs_options.metrics = std::string(mode) != "off";
+    obs_options.events = std::string(mode) == "metrics+events";
+    bss::obs::Telemetry telemetry(obs_options);
+
+    OverheadRow row;
+    row.mode = mode;
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<ExploreResult> results;
+    for (const ExplorableSystem* system : mutants) {
+      ExploreOptions options = refutation_options(jobs);
+      if (std::string(mode) != "off") options.telemetry = &telemetry;
+      results.push_back(bss::explore::explore(*system, options));
+    }
+    row.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      row.schedules += results[i].stats.schedules;
+      if (!baseline.empty() &&
+          (!results_match(results[i], baseline[i]) ||
+           results[i].summary() != baseline[i].summary())) {
+        row.identical = false;
+      }
+    }
+    if (baseline.empty()) baseline = std::move(results);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_overhead_table(const std::vector<OverheadRow>& rows) {
+  std::printf("\n%-24s %9s %9s %10s %s\n", "telemetry", "schedules",
+              "seconds", "overhead", "identical");
+  for (const OverheadRow& row : rows) {
+    const double overhead =
+        rows[0].seconds > 0 ? 100.0 * (row.seconds / rows[0].seconds - 1.0)
+                            : 0;
+    std::printf("%-24s %9llu %9.3f %9.1f%% %s\n", row.mode.c_str(),
+                static_cast<unsigned long long>(row.schedules), row.seconds,
+                overhead, row.identical ? "yes" : "NO");
+  }
+}
+
+void print_overhead_json(const std::vector<OverheadRow>& rows, bool more) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const OverheadRow& row = rows[i];
+    const double overhead =
+        rows[0].seconds > 0 ? row.seconds / rows[0].seconds - 1.0 : 0;
+    std::printf(
+        "  {\"workload\": \"telemetry-overhead\", \"mode\": \"%s\", "
+        "\"schedules\": %llu, \"seconds\": %.4f, \"overhead\": %.4f, "
+        "\"identical\": %s}%s\n",
+        row.mode.c_str(), static_cast<unsigned long long>(row.schedules),
+        row.seconds, overhead, row.identical ? "true" : "false",
+        more || i + 1 < rows.size() ? "," : "");
+  }
+}
+
 /// Minimized-artifact check under the worker pool: refute one mutant with
 /// defaults (minimize on) at --jobs workers, then replay the artifact.
 /// Returns the divergence count (0 is the only healthy answer).
@@ -253,17 +345,62 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<ScaleRow> scaling = run_scaling(flags.jobs);
+  const std::vector<OverheadRow> overhead = run_overhead(flags.jobs);
   const std::uint64_t divergences = artifact_replay_divergences(flags.jobs);
+  bool telemetry_passive = true;
+  for (const OverheadRow& row : overhead) {
+    telemetry_passive &= row.identical;
+  }
 
+  bss::bench::BenchReport report(flags, "bench_explore");
+  for (const Row& row : rows) {
+    bss::obs::json::Object object;
+    object.emplace("system", bss::obs::json::Value(row.label));
+    object.emplace("schedules",
+                   bss::obs::json::Value(row.result.stats.schedules));
+    object.emplace("transitions",
+                   bss::obs::json::Value(row.result.stats.transitions));
+    object.emplace("exhausted", bss::obs::json::Value(row.result.exhausted));
+    object.emplace("seconds", bss::obs::json::Value(row.seconds));
+    report.row(std::move(object));
+  }
+  for (const ScaleRow& row : scaling) {
+    bss::obs::json::Object object;
+    object.emplace("workload", bss::obs::json::Value(row.label));
+    object.emplace("jobs", bss::obs::json::Value(row.jobs));
+    object.emplace("schedules", bss::obs::json::Value(row.schedules));
+    object.emplace(
+        "violations",
+        bss::obs::json::Value(static_cast<std::uint64_t>(row.violations)));
+    object.emplace("seconds", bss::obs::json::Value(row.seconds));
+    object.emplace("identical", bss::obs::json::Value(row.identical));
+    report.row(std::move(object));
+  }
+  for (const OverheadRow& row : overhead) {
+    bss::obs::json::Object object;
+    object.emplace("workload",
+                   bss::obs::json::Value(std::string("telemetry-overhead")));
+    object.emplace("mode", bss::obs::json::Value(row.mode));
+    object.emplace("schedules", bss::obs::json::Value(row.schedules));
+    object.emplace("seconds", bss::obs::json::Value(row.seconds));
+    object.emplace("identical", bss::obs::json::Value(row.identical));
+    report.row(std::move(object));
+  }
+  report.builder().stat("artifact_replay_divergences", divergences);
+  report.builder().stat("telemetry_passive", telemetry_passive ? 1 : 0);
+
+  const bool ok = divergences == 0 && telemetry_passive;
   if (flags.json) {
     std::printf("[\n");
     print_json(rows, /*more=*/true);
     print_scaling_json(scaling, /*more=*/true);
+    print_overhead_json(overhead, /*more=*/true);
     std::printf("  {\"workload\": \"artifact-replay\", \"jobs\": %d, "
                 "\"divergences\": %llu}\n",
                 flags.jobs, static_cast<unsigned long long>(divergences));
     std::printf("]\n");
-    return divergences == 0 ? 0 : 1;
+    report.finalize();
+    return ok ? 0 : 1;
   }
   print_table(rows);
   const double ratio = 1.0 - static_cast<double>(rows[1].result.stats.schedules) /
@@ -273,7 +410,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(rows[0].result.stats.schedules),
               static_cast<unsigned long long>(rows[1].result.stats.schedules));
   print_scaling_table(scaling);
+  print_overhead_table(overhead);
+  if (!telemetry_passive) {
+    std::printf("FATAL: telemetry changed exploration results (ObsSink "
+                "passivity violated)\n");
+  }
   std::printf("  minimized artifact replay at --jobs %d: %llu divergences\n",
               flags.jobs, static_cast<unsigned long long>(divergences));
-  return divergences == 0 ? 0 : 1;
+  report.finalize();
+  return ok ? 0 : 1;
 }

@@ -11,6 +11,8 @@
 #include <map>
 #include <memory>
 
+#include "bench_flags.h"
+#include "bench_report.h"
 #include "core/election_validator.h"
 #include "core/sim_election.h"
 #include "util/checked.h"
@@ -20,7 +22,8 @@ namespace {
 void histogram(const char* name,
                const std::function<std::unique_ptr<bss::sim::Scheduler>(
                    std::uint64_t)>& make,
-               int k, int n, int trials) {
+               int k, int n, int trials,
+               bss::bench::BenchReport& bench_report) {
   std::map<std::int64_t, int> wins;
   int violations = 0;
   for (int trial = 0; trial < trials; ++trial) {
@@ -29,6 +32,12 @@ void histogram(const char* name,
     if (!bss::core::verify_election(report).ok()) ++violations;
     ++wins[report.outcomes[0]->leader - 1000];
   }
+  bss::obs::json::Object object;
+  object.emplace("scheduler", name);
+  object.emplace("trials", trials);
+  object.emplace("distinct_winners", static_cast<std::uint64_t>(wins.size()));
+  object.emplace("violations", violations);
+  bench_report.row(std::move(object));
   std::printf("%-12s distinct-winners=%2zu violations=%d  top:", name,
               wins.size(), violations);
   // Print the three most frequent winners.
@@ -50,7 +59,10 @@ void histogram(const char* name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bss::bench::BenchFlags flags = bss::bench::parse_flags(
+      argc, argv, /*accepts_jobs=*/false, /*accepts_json=*/false);
+  bss::bench::BenchReport report(flags, "bench_fairness");
   constexpr int kK = 5;
   constexpr int kN = 24;
   constexpr int kTrials = 200;
@@ -59,19 +71,20 @@ int main() {
       kN, kTrials);
   histogram("solo", [](std::uint64_t) {
     return std::make_unique<bss::sim::SoloScheduler>();
-  }, kK, kN, 1);
+  }, kK, kN, 1, report);
   histogram("round-robin", [](std::uint64_t) {
     return std::make_unique<bss::sim::RoundRobinScheduler>();
-  }, kK, kN, 1);
+  }, kK, kN, 1, report);
   histogram("random", [](std::uint64_t seed) {
     return std::make_unique<bss::sim::RandomScheduler>(seed);
-  }, kK, kN, kTrials);
+  }, kK, kN, kTrials, report);
   histogram("cas-convoy", [](std::uint64_t seed) {
     return std::make_unique<bss::sim::CasConvoyScheduler>(seed);
-  }, kK, kN, kTrials);
+  }, kK, kN, kTrials, report);
   std::printf(
       "\nshape: zero violations everywhere; the adversary picks the winner\n"
       "but can never manufacture disagreement — which is the whole point of\n"
       "a wait-free election.\n");
+  report.finalize();
   return 0;
 }

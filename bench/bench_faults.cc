@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bench_flags.h"
+#include "bench_report.h"
 #include "core/recoverable_election.h"
 #include "explore/election_systems.h"
 #include "explore/explore.h"
@@ -190,10 +191,37 @@ int main(int argc, char** argv) {
   storms.push_back(timed_storm("rfvt[k=4,n=6] crash+restart", 4, 6, 0.2, 0.5,
                                200));
 
+  bss::bench::BenchReport report(flags, "bench_faults");
+  for (const auto& row : sweeps) {
+    bss::obs::json::Object object;
+    object.emplace("kind", bss::obs::json::Value(std::string("sweep")));
+    object.emplace("label", bss::obs::json::Value(row.label));
+    object.emplace("schedules",
+                   bss::obs::json::Value(row.result.stats.schedules));
+    object.emplace("faults_injected",
+                   bss::obs::json::Value(row.result.stats.faults_injected));
+    object.emplace("fault_points",
+                   bss::obs::json::Value(row.result.stats.fault_points));
+    object.emplace("exhausted", bss::obs::json::Value(row.result.exhausted));
+    object.emplace("seconds", bss::obs::json::Value(row.seconds));
+    report.row(std::move(object));
+  }
+  for (const auto& row : storms) {
+    bss::obs::json::Object object;
+    object.emplace("kind", bss::obs::json::Value(std::string("storm")));
+    object.emplace("label", bss::obs::json::Value(row.label));
+    object.emplace("runs", bss::obs::json::Value(row.runs));
+    object.emplace("restarted_runs",
+                   bss::obs::json::Value(row.restarted_runs));
+    object.emplace("seconds", bss::obs::json::Value(row.seconds));
+    report.row(std::move(object));
+  }
+
   if (json) {
     print_json(sweeps, storms);
   } else {
     print_tables(sweeps, storms);
   }
+  report.finalize();
   return 0;
 }

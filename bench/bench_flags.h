@@ -15,26 +15,39 @@ namespace bss::bench {
 struct BenchFlags {
   bool json = false;  ///< machine-readable output instead of the table
   int jobs = 1;       ///< explorer worker threads (ExploreOptions::jobs)
+  /// When non-empty, a `bss-runreport v1` document is also written to this
+  /// path (stdout keeps the table / --json rows either way).
+  std::string out;
 };
 
-inline void print_usage(const char* program, bool accepts_jobs) {
-  std::fprintf(stderr, "usage: %s [--json]%s\n", program,
+inline void print_usage(const char* program, bool accepts_jobs,
+                        bool accepts_json = true) {
+  std::fprintf(stderr, "usage: %s%s%s [--out PATH]\n", program,
+               accepts_json ? " [--json]" : "",
                accepts_jobs ? " [--jobs N]" : "");
-  std::fprintf(stderr, "  --json     print rows as a JSON array\n");
+  if (accepts_json) {
+    std::fprintf(stderr, "  --json     print rows as a JSON array\n");
+  }
   if (accepts_jobs) {
     std::fprintf(stderr,
                  "  --jobs N   explorer worker threads (default 1; results "
                  "are identical for every N)\n");
   }
+  std::fprintf(stderr,
+               "  --out PATH write a bss-runreport v1 artifact to PATH "
+               "(stdout output is unchanged)\n");
 }
 
-/// Parses [--json] [--jobs N] anywhere on the command line.  Exits with
-/// status 2 (after printing usage) on unknown arguments, missing or
-/// malformed values; exits 0 on --help.
-inline BenchFlags parse_flags(int argc, char** argv, bool accepts_jobs) {
+/// Parses [--json] [--jobs N] [--out PATH] anywhere on the command line.
+/// Exits with status 2 (after printing usage) on unknown arguments, missing
+/// or malformed values; exits 0 on --help.  Benches whose stdout has no
+/// machine-readable twin pass accepts_json=false and --json is rejected
+/// like any other unknown flag.
+inline BenchFlags parse_flags(int argc, char** argv, bool accepts_jobs,
+                              bool accepts_json = true) {
   BenchFlags flags;
   const auto fail = [&]() {
-    print_usage(argv[0], accepts_jobs);
+    print_usage(argv[0], accepts_jobs, accepts_json);
     std::exit(2);
   };
   const auto parse_jobs = [&](const char* value) {
@@ -43,18 +56,27 @@ inline BenchFlags parse_flags(int argc, char** argv, bool accepts_jobs) {
     if (end == value || *end != '\0' || parsed < 1 || parsed > 64) fail();
     flags.jobs = static_cast<int>(parsed);
   };
+  const auto parse_out = [&](const char* value) {
+    if (value[0] == '\0') fail();
+    flags.out = value;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json") {
+    if (accepts_json && arg == "--json") {
       flags.json = true;
     } else if (arg == "--help" || arg == "-h") {
-      print_usage(argv[0], accepts_jobs);
+      print_usage(argv[0], accepts_jobs, accepts_json);
       std::exit(0);
     } else if (accepts_jobs && arg == "--jobs") {
       if (i + 1 >= argc) fail();
       parse_jobs(argv[++i]);
     } else if (accepts_jobs && arg.rfind("--jobs=", 0) == 0) {
       parse_jobs(arg.c_str() + std::strlen("--jobs="));
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) fail();
+      parse_out(argv[++i]);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      parse_out(arg.c_str() + std::strlen("--out="));
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
                    arg.c_str());

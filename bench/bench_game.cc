@@ -7,6 +7,8 @@
 // an upper bound; its role in the paper is to cap UpdateC&S's walk).
 #include <cstdio>
 
+#include "bench_flags.h"
+#include "bench_report.h"
 #include "game/exhaustive.h"
 #include "game/game.h"
 #include "game/potential.h"
@@ -33,7 +35,10 @@ std::uint64_t best_random(int k, int m, int trials) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bss::bench::BenchFlags flags = bss::bench::parse_flags(
+      argc, argv, /*accepts_jobs=*/false, /*accepts_json=*/false);
+  bss::bench::BenchReport report(flags, "bench_game");
   std::printf("T2a — exact maxima (exhaustive) vs the m^k bound\n");
   std::printf("%3s %3s %10s %12s %14s\n", "k", "m", "exact-max", "bound=m^k",
               "states");
@@ -49,6 +54,14 @@ int main() {
                 static_cast<unsigned long long>(result.max_moves),
                 static_cast<unsigned long long>(game.bound()),
                 static_cast<unsigned long long>(result.states_explored));
+    bss::obs::json::Object object;
+    object.emplace("kind", "exact");
+    object.emplace("k", instance.k);
+    object.emplace("m", instance.m);
+    object.emplace("exact_max", result.max_moves);
+    object.emplace("bound", game.bound());
+    object.emplace("states_explored", result.states_explored);
+    report.row(std::move(object));
   }
 
   std::printf("\nT2b — achieved lower bounds (strategies) vs m^k, larger instances\n");
@@ -65,6 +78,14 @@ int main() {
                 static_cast<unsigned long long>(greedy_result.moves),
                 static_cast<unsigned long long>(random_best),
                 static_cast<unsigned long long>(greedy_game.bound()));
+    bss::obs::json::Object object;
+    object.emplace("kind", "strategy");
+    object.emplace("k", instance.k);
+    object.emplace("m", instance.m);
+    object.emplace("greedy", greedy_result.moves);
+    object.emplace("random_best", random_best);
+    object.emplace("bound", greedy_game.bound());
+    report.row(std::move(object));
   }
 
   std::printf("\nT2c — the potential argument on a played game (k=4, m=3)\n");
@@ -84,8 +105,23 @@ int main() {
                 }
                 return "yes";
               }());
+  bool all_drops_positive = true;
+  for (const auto drop : replay.move_drops) {
+    if (drop < 1) all_drops_positive = false;
+  }
+  bss::obs::json::Object object;
+  object.emplace("kind", "potential");
+  object.emplace("k", 4);
+  object.emplace("m", 3);
+  object.emplace("phi_start", replay.phi_start);
+  object.emplace("bound", replay.bound);
+  object.emplace("moves", game.move_count());
+  object.emplace("all_moves_descend", replay.all_moves_descend);
+  object.emplace("min_drop_ge_1", all_drops_positive);
+  report.row(std::move(object));
   std::printf(
       "\nshape: exact maxima and all strategies stay below m^k, and every\n"
       "move pays >= 1 potential — Lemma 1.1 as measured data.\n");
+  report.finalize();
   return 0;
 }

@@ -6,6 +6,8 @@
 // — the "strong objects are universal [10]" premise the paper refines.
 #include <cstdio>
 
+#include "bench_flags.h"
+#include "bench_report.h"
 #include "checker/bivalence.h"
 #include "checker/consensus_check.h"
 #include "checker/protocols.h"
@@ -16,7 +18,7 @@
 
 namespace {
 
-void print_checker_costs() {
+void print_checker_costs(bss::bench::BenchReport& report) {
   std::printf("T3b — checker effort per protocol (full interleaving spaces)\n");
   std::printf("%-16s %6s %10s %14s\n", "protocol", "n", "solves?",
               "states-explored");
@@ -28,6 +30,13 @@ void print_checker_costs() {
     std::printf("%-16s %6d %10s %14llu\n", protocol.name().c_str(),
                 protocol.process_count(), result.solves ? "yes" : "no",
                 static_cast<unsigned long long>(result.states_explored));
+    bss::obs::json::Object object;
+    object.emplace("kind", "checker");
+    object.emplace("protocol", protocol.name());
+    object.emplace("n", protocol.process_count());
+    object.emplace("solves", result.solves);
+    object.emplace("states_explored", result.states_explored);
+    report.row(std::move(object));
   };
   bss::check::RwWriteReadConsensus rw;
   bss::check::RwSpinConsensus rw_spin;
@@ -46,7 +55,7 @@ void print_checker_costs() {
   std::printf("\n");
 }
 
-void print_valency() {
+void print_valency(bss::bench::BenchReport& report) {
   std::printf("T3c — valency anatomy (FLP's structure, counted)\n");
   bss::check::TasConsensus2 tas2;
   const auto mixed = bss::check::analyze_valency(tas2, {0, 1});
@@ -54,9 +63,19 @@ void print_valency() {
   std::printf("tas-2, inputs {0,1}: %s\n", mixed.summary().c_str());
   std::printf("tas-2, inputs {1,1}: %s\n", uniform.summary().c_str());
   std::printf("\n");
+  const auto add_row = [&](const char* inputs, const std::string& summary) {
+    bss::obs::json::Object object;
+    object.emplace("kind", "valency");
+    object.emplace("protocol", "tas-2");
+    object.emplace("inputs", inputs);
+    object.emplace("summary", summary);
+    report.row(std::move(object));
+  };
+  add_row("0,1", mixed.summary());
+  add_row("1,1", uniform.summary());
 }
 
-void print_universal() {
+void print_universal(bss::bench::BenchReport& bench_report) {
   std::printf("T3d — Herlihy universal construction (sticky-register cells)\n");
   constexpr int kProcs = 6;
   constexpr int kOpsEach = 10;
@@ -82,6 +101,14 @@ void print_universal() {
       kProcs, kProcs * kOpsEach, counter.log_length(),
       static_cast<unsigned long long>(report.total_steps), max_distance,
       2 * kProcs);
+  bss::obs::json::Object object;
+  object.emplace("kind", "universal");
+  object.emplace("processes", kProcs);
+  object.emplace("ops", kProcs * kOpsEach);
+  object.emplace("log_cells", counter.log_length());
+  object.emplace("shared_steps", report.total_steps);
+  object.emplace("max_placement_distance", max_distance);
+  bench_report.row(std::move(object));
   std::printf(
       "\nshape: consensus numbers 1 / 2 / k-1 / inf recompute exactly;\n"
       "universality holds but consumes one consensus cell per operation —\n"
@@ -91,13 +118,25 @@ void print_universal() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bss::bench::BenchFlags flags = bss::bench::parse_flags(
+      argc, argv, /*accepts_jobs=*/false, /*accepts_json=*/false);
+  bss::bench::BenchReport report(flags, "bench_hierarchy");
+  const auto table = bss::hierarchy::build_hierarchy_table();
   std::printf("T3a — the hierarchy table (all cells recomputed)\n%s\n",
-              bss::hierarchy::render_hierarchy_table(
-                  bss::hierarchy::build_hierarchy_table())
-                  .c_str());
-  print_checker_costs();
-  print_valency();
-  print_universal();
+              bss::hierarchy::render_hierarchy_table(table).c_str());
+  for (const auto& row : table) {
+    bss::obs::json::Object object;
+    object.emplace("kind", "hierarchy");
+    object.emplace("object", row.object);
+    object.emplace("consensus_number", row.consensus_number);
+    object.emplace("certified", row.certified);
+    object.emplace("refuted", row.refuted);
+    report.row(std::move(object));
+  }
+  print_checker_costs(report);
+  print_valency(report);
+  print_universal(report);
+  report.finalize();
   return 0;
 }

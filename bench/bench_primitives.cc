@@ -6,6 +6,9 @@
 // label-compatibility reads.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "bench_gbench.h"
 #include "emulation/board.h"
 #include "registers/cas_register_k.h"
 #include "registers/snapshot.h"
@@ -110,4 +113,20 @@ BENCHMARK(BM_BoardRead)->Arg(16)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Same main shape as bench_election: --json for machine-readable stdout,
+// --out PATH for the shared bss-runreport v1 artifact, everything else is
+// google-benchmark's.
+int main(int argc, char** argv) {
+  auto pre = bss::bench::preprocess_gbench_args(argc, argv);
+  int args_count = bss::checked_cast<int>(pre.args.size());
+  benchmark::Initialize(&args_count, pre.args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, pre.args.data())) {
+    std::fprintf(stderr,
+                 "usage: %s [--json] [--out PATH] [google-benchmark flags]\n"
+                 "  --json     shorthand for --benchmark_format=json\n"
+                 "  --out PATH write a bss-runreport v1 artifact to PATH\n",
+                 argv[0]);
+    return 1;
+  }
+  return bss::bench::run_gbench_with_report(pre.flags, "bench_primitives");
+}

@@ -11,6 +11,8 @@
 //     emulators, so the impossible algorithm cannot be built.
 #include <cstdio>
 
+#include "bench_flags.h"
+#include "bench_report.h"
 #include "emulation/driver.h"
 #include "emulation/reduction_check.h"
 #include "util/checked.h"
@@ -21,7 +23,7 @@ using bss::emu::EmuParams;
 using bss::emu::EmulationDriver;
 using bss::emu::EmuStats;
 
-void sweep_fvt() {
+void sweep_fvt(bss::bench::BenchReport& report) {
   std::printf(
       "F2a — A = FirstValueTree election, varying emulators and v-processes\n");
   std::printf("%3s %3s %5s %9s %7s %7s %9s %10s %8s\n", "k", "m", "vps/m",
@@ -46,6 +48,19 @@ void sweep_fvt() {
                 config.vps, stats.completed ? "complete" : "STALL",
                 driver.forest().tree_count(), stats.splits, stats.installs,
                 stats.distinct_decisions, verdict.ok() ? "OK" : "FAIL");
+    bss::obs::json::Object object;
+    object.emplace("kind", "fvt");
+    object.emplace("k", config.k);
+    object.emplace("m", config.m);
+    object.emplace("vps_per_emulator", config.vps);
+    object.emplace("completed", stats.completed);
+    object.emplace("labels",
+                   static_cast<std::uint64_t>(driver.forest().tree_count()));
+    object.emplace("splits", stats.splits);
+    object.emplace("installs", stats.installs);
+    object.emplace("distinct_decisions", stats.distinct_decisions);
+    object.emplace("ok", verdict.ok());
+    report.row(std::move(object));
   }
   const std::uint64_t bound3 = 2;  // (3-1)!
   std::printf(
@@ -55,7 +70,7 @@ void sweep_fvt() {
       static_cast<unsigned long long>(bound3));
 }
 
-void sweep_token_race() {
+void sweep_token_race(bss::bench::BenchReport& report) {
   std::printf(
       "F2b — A = token-race (value-reusing) exerciser: the rebalance path\n");
   std::printf("%3s %3s %5s %7s %9s %11s %9s %9s\n", "k", "m", "vps/m",
@@ -82,6 +97,17 @@ void sweep_token_race() {
                 config.vps, config.rounds,
                 stats.completed ? "complete" : "STALL", stats.suspensions,
                 stats.releases, stats.installs);
+    bss::obs::json::Object object;
+    object.emplace("kind", "token_race");
+    object.emplace("k", config.k);
+    object.emplace("m", config.m);
+    object.emplace("vps_per_emulator", config.vps);
+    object.emplace("rounds", config.rounds);
+    object.emplace("completed", stats.completed);
+    object.emplace("suspensions", stats.suspensions);
+    object.emplace("releases", stats.releases);
+    object.emplace("installs", stats.installs);
+    report.row(std::move(object));
   }
   {
     // Paper-faithful mode: installs must be backed by suspended
@@ -99,6 +125,17 @@ void sweep_token_race() {
     std::printf("%3d %3d %5d %7d %9s %11d %9d %9d   (faithful mode)\n", 3, 1,
                 8, 9, stats.completed ? "complete" : "STALL",
                 stats.suspensions, stats.releases, stats.installs);
+    bss::obs::json::Object object;
+    object.emplace("kind", "token_race_faithful");
+    object.emplace("k", 3);
+    object.emplace("m", 1);
+    object.emplace("vps_per_emulator", 8);
+    object.emplace("rounds", 9);
+    object.emplace("completed", stats.completed);
+    object.emplace("suspensions", stats.suspensions);
+    object.emplace("releases", stats.releases);
+    object.emplace("installs", stats.installs);
+    report.row(std::move(object));
   }
   std::printf(
       "\nshape: value reuse makes installs exceed k-1 and drives the\n"
@@ -107,7 +144,7 @@ void sweep_token_race() {
       "trees for.\n\n");
 }
 
-void show_history_tree() {
+void show_history_tree(bss::bench::BenchReport& report) {
   std::printf("F2c — a constructed history, spelled out (k=3, token race)\n");
   EmuParams params;
   params.k = 3;
@@ -124,13 +161,26 @@ void show_history_tree() {
   }
   std::printf("  vp steps=%d, events=%zu, completed=%s\n", stats.vp_steps,
               driver.events().size(), stats.completed ? "yes" : "no");
+  bss::obs::json::Object object;
+  object.emplace("kind", "history");
+  object.emplace("vp_steps", stats.vp_steps);
+  object.emplace("events", static_cast<std::uint64_t>(driver.events().size()));
+  object.emplace("completed", stats.completed);
+  object.emplace("active_labels",
+                 static_cast<std::uint64_t>(
+                     driver.forest().active_labels().size()));
+  report.row(std::move(object));
 }
 
 }  // namespace
 
-int main() {
-  sweep_fvt();
-  sweep_token_race();
-  show_history_tree();
+int main(int argc, char** argv) {
+  const bss::bench::BenchFlags flags = bss::bench::parse_flags(
+      argc, argv, /*accepts_jobs=*/false, /*accepts_json=*/false);
+  bss::bench::BenchReport report(flags, "bench_reduction");
+  sweep_fvt(report);
+  sweep_token_race(report);
+  show_history_tree(report);
+  report.finalize();
   return 0;
 }

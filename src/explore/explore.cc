@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <limits>
@@ -14,6 +15,7 @@
 
 #include "audit/commute_check.h"
 #include "audit/ledger.h"
+#include "obs/obs.h"
 #include "runtime/sim_env.h"
 #include "util/checked.h"
 
@@ -118,6 +120,29 @@ struct PassUnit {
   std::optional<SubtreeJob> job;  ///< nullopt for inline units
   UnitResult result;
 };
+
+/// Observability context threaded through the hot loop: the sink (null =
+/// off), the caller's single-writer metric shard, and the logical worker id
+/// events are attributed to.  Strictly passive — nothing here may influence
+/// an exploration decision.
+struct ObsCtx {
+  obs::ObsSink* sink = nullptr;
+  obs::MetricShard* shard = nullptr;
+  int worker = obs::Event::kCoordinator;
+};
+
+ObsCtx make_obs_ctx(obs::ObsSink* sink, int worker) {
+  ObsCtx octx;
+  octx.sink = sink;
+  octx.shard = sink != nullptr ? sink->metric_shard(worker) : nullptr;
+  octx.worker = worker;
+  return octx;
+}
+
+const std::vector<std::uint64_t>& depth_bounds() {
+  static const std::vector<std::uint64_t> bounds = obs::pow2_bounds(16);
+  return bounds;
+}
 
 /// The max_schedules safety valve, shared across enumerator and workers.
 struct SharedBudget {
@@ -370,7 +395,8 @@ struct RunOutcome {
 /// prefix execution is re-run (and re-counted) by the worker, exactly as
 /// every serial run re-executes its prefix.
 RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
-                   PassState& pass, UnitResult& unit, std::size_t shard_at) {
+                   PassState& pass, UnitResult& unit, std::size_t shard_at,
+                   const ObsCtx& octx) {
   RunOutcome outcome;
   std::uint64_t run_transitions = 0;
   std::uint64_t run_faults = 0;
@@ -440,6 +466,7 @@ RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
       if (choice == kNoChoice) {
         env.finish();
         commit();
+        if (octx.shard != nullptr) ++octx.shard->counter("explore.pruned_runs");
         outcome.pruned = true;  // prune kinds were accounted above
         return outcome;
       }
@@ -479,8 +506,17 @@ RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
 
   ++unit.stats.schedules;
   unit.stats.max_depth_seen = std::max(unit.stats.max_depth_seen, granted);
+  if (octx.shard != nullptr) {
+    ++octx.shard->counter("explore.schedules");
+    octx.shard->counter("explore.transitions") += run_transitions;
+    octx.shard->counter("explore.faults_injected") += run_faults;
+    octx.shard->gauge_max("explore.max_depth_seen", granted);
+    octx.shard->histogram("explore.schedule_depth", depth_bounds())
+        .observe(granted);
+  }
   if (truncated) {
     ++unit.stats.truncated;
+    if (octx.shard != nullptr) ++octx.shard->counter("explore.truncated");
     outcome.truncated = true;
     return outcome;
   }
@@ -513,6 +549,22 @@ RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
     unit.audit.commute_mismatches += cross.mismatches.size();
     for (const auto& mismatch : cross.mismatches) {
       unit.audit.note("commute mismatch: " + mismatch.detail);
+    }
+    if (octx.shard != nullptr) {
+      ++octx.shard->counter("audit.schedules_cross_checked");
+      octx.shard->counter("audit.swaps_replayed") += cross.swaps_replayed;
+    }
+    if (octx.sink != nullptr && octx.sink->events_enabled()) {
+      obs::Event event;
+      event.kind = "audit.cross_check";
+      event.step = unit.audit.schedules_cross_checked;
+      event.worker = octx.worker;
+      event.fields.emplace_back("pairs",
+                                std::to_string(cross.pairs_considered));
+      event.fields.emplace_back("swaps", std::to_string(cross.swaps_replayed));
+      event.fields.emplace_back("mismatches",
+                                std::to_string(cross.mismatches.size()));
+      octx.sink->emit(std::move(event));
     }
   }
   return outcome;
@@ -549,7 +601,8 @@ struct TapeResult {
 };
 
 TapeResult run_tape(const ExplorableSystem& system, const ExploreOptions& opts,
-                    const std::vector<int>& tape) {
+                    const std::vector<int>& tape,
+                    obs::ObsSink* env_sink = nullptr) {
   TapeResult result;
   auto instance = system.make();
   sim::SimOptions sim_options;
@@ -557,6 +610,10 @@ TapeResult run_tape(const ExplorableSystem& system, const ExploreOptions& opts,
   sim_options.record_trace = true;  // checks may read the trace on replay
   sim::SimEnv env(sim_options);
   instance->populate(env);
+  // Fault-injection events (sim.crash / sim.restart / sim.sc_failure) are
+  // attached only on explicit replays: exploration re-runs the factory
+  // thousands of times and would drown the bounded event log.
+  if (env_sink != nullptr) env.set_obs_sink(env_sink);
   const int n = env.process_count();
   std::optional<audit::Auditor> auditor;
   if (opts.audit) {
@@ -673,16 +730,21 @@ void record_violation(UnitResult& unit, Counterexample cex) {
 
 Counterexample build_counterexample(const ExplorableSystem& system,
                                     const ExploreOptions& opts,
-                                    RunOutcome&& outcome,
-                                    ExploreStats& stats) {
+                                    RunOutcome&& outcome, ExploreStats& stats,
+                                    const ObsCtx& octx) {
   Counterexample cex;
   cex.system = system.name();
   cex.processes = system.process_count();
   cex.violation = std::move(*outcome.violation);
   cex.decisions = std::move(outcome.decisions);
   cex.shrunk_from = cex.decisions.size();
+  const std::uint64_t shrink_before = stats.shrink_runs;
   if (opts.minimize) {
     cex = minimize_counterexample(system, std::move(cex), opts, &stats);
+  }
+  if (octx.shard != nullptr) {
+    ++octx.shard->counter("explore.violations_found");
+    octx.shard->counter("shrink.replays") += stats.shrink_runs - shrink_before;
   }
   return cex;
 }
@@ -694,20 +756,20 @@ Counterexample build_counterexample(const ExplorableSystem& system,
 void explore_subtree(const ExplorableSystem& system,
                      const ExploreOptions& opts, PassState pass,
                      SharedBudget& budget, std::size_t violation_quota,
-                     UnitResult& unit) {
+                     UnitResult& unit, const ObsCtx& octx) {
   for (;;) {
     if (budget.exhausted()) {
       unit.cap_hit = true;
       break;
     }
-    RunOutcome outcome = run_one(system, opts, pass, unit, 0);
+    RunOutcome outcome = run_one(system, opts, pass, unit, 0, octx);
     if (!outcome.pruned) {
       budget.schedules.fetch_add(1, std::memory_order_relaxed);
     }
     if (outcome.violation.has_value()) {
       record_violation(
           unit, build_counterexample(system, opts, std::move(outcome),
-                                     unit.stats));
+                                     unit.stats, octx));
       if (opts.stop_at_first_violation ||
           unit.violations.size() >= violation_quota) {
         unit.stopped = true;
@@ -740,6 +802,11 @@ std::vector<PassUnit> run_pass(const ExplorableSystem& system,
           ? opts.max_violations - cfg.violations_so_far
           : 1;
 
+  obs::ObsSink* sink = opts.telemetry;
+  const ObsCtx coordinator = make_obs_ctx(sink, obs::Event::kCoordinator);
+  const bool spans = sink != nullptr && sink->timeline_enabled();
+  const std::uint64_t enumerate_begin = spans ? sink->now_ns() : 0;
+
   PassState pass = cfg.base;
   std::size_t inline_recorded = 0;
   for (;;) {
@@ -748,7 +815,8 @@ std::vector<PassUnit> run_pass(const ExplorableSystem& system,
       break;
     }
     UnitResult scratch;
-    RunOutcome outcome = run_one(system, opts, pass, scratch, cfg.shard_at);
+    RunOutcome outcome =
+        run_one(system, opts, pass, scratch, cfg.shard_at, coordinator);
     if (outcome.sharded) {
       PassUnit u;
       u.job = SubtreeJob{pass.frames};  // snapshot; the enumerator walks on
@@ -765,7 +833,7 @@ std::vector<PassUnit> run_pass(const ExplorableSystem& system,
     if (outcome.violation.has_value()) {
       record_violation(
           unit, build_counterexample(system, opts, std::move(outcome),
-                                     unit.stats));
+                                     unit.stats, coordinator));
       ++inline_recorded;
       // Units before this one may already satisfy the stop policy — the
       // merge decides exactly.  But once inline violations alone satisfy
@@ -777,6 +845,16 @@ std::vector<PassUnit> run_pass(const ExplorableSystem& system,
       }
     }
     if (!advance(pass)) break;
+  }
+
+  if (spans) {
+    obs::Span span;
+    span.name = "enumerate";
+    span.track = obs::Timeline::kCoordinatorTrack;
+    span.begin_ns = enumerate_begin;
+    span.end_ns = sink->now_ns();
+    span.args.emplace_back("units", std::to_string(units.size()));
+    sink->record_span(std::move(span));
   }
 
   std::vector<std::size_t> job_indices;
@@ -827,24 +905,64 @@ std::vector<PassUnit> run_pass(const ExplorableSystem& system,
     walk_frontier();
   }
 
-  const auto worker = [&] {
+  const auto worker = [&](int worker_index) {
     try {
+      const ObsCtx octx = make_obs_ctx(sink, worker_index);
+      const bool events = sink != nullptr && sink->events_enabled();
+      std::uint64_t claims = 0;
+      if (events) {
+        obs::Event event;
+        event.kind = "worker.start";
+        event.worker = worker_index;
+        sink->emit(std::move(event));
+      }
       for (;;) {
         const std::size_t j = next.fetch_add(1, std::memory_order_relaxed);
         if (j >= job_indices.size()) break;
         const std::size_t u = job_indices[j];
-        if (u > barrier.load(std::memory_order_acquire)) {
+        const bool past_barrier = u > barrier.load(std::memory_order_acquire);
+        if (events) {
+          obs::Event event;
+          event.kind = "worker.claim";
+          event.step = claims;
+          event.worker = worker_index;
+          event.fields.emplace_back("unit", std::to_string(u));
+          event.fields.emplace_back("skipped", past_barrier ? "1" : "0");
+          sink->emit(std::move(event));
+        }
+        ++claims;
+        if (past_barrier) {
           units[u].result.skipped = true;
         } else {
+          const std::uint64_t job_begin = spans ? sink->now_ns() : 0;
           PassState sub = cfg.base;
           sub.frames = std::move(units[u].job->prefix);
           sub.floor = sub.frames.size();
           explore_subtree(system, opts, std::move(sub), budget, quota,
-                          units[u].result);
+                          units[u].result, octx);
+          if (spans) {
+            obs::Span span;
+            span.name = "job";
+            span.track = worker_index;
+            span.begin_ns = job_begin;
+            span.end_ns = sink->now_ns();
+            span.args.emplace_back("unit", std::to_string(u));
+            span.args.emplace_back(
+                "schedules",
+                std::to_string(units[u].result.stats.schedules));
+            sink->record_span(std::move(span));
+          }
         }
         std::lock_guard<std::mutex> lock(mu);
         complete[u] = 1;
         walk_frontier();
+      }
+      if (events) {
+        obs::Event event;
+        event.kind = "worker.finish";
+        event.step = claims;
+        event.worker = worker_index;
+        sink->emit(std::move(event));
       }
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu);
@@ -857,8 +975,10 @@ std::vector<PassUnit> run_pass(const ExplorableSystem& system,
                             job_indices.size());
   std::vector<std::thread> threads;
   threads.reserve(workers - 1);
-  for (std::size_t i = 1; i < workers; ++i) threads.emplace_back(worker);
-  worker();  // the calling thread is worker 0
+  for (std::size_t i = 1; i < workers; ++i) {
+    threads.emplace_back(worker, static_cast<int>(i));
+  }
+  worker(0);  // the calling thread is worker 0
   for (auto& t : threads) t.join();
   if (error) std::rethrow_exception(error);
   return units;
@@ -868,10 +988,62 @@ std::vector<PassUnit> run_pass(const ExplorableSystem& system,
 /// explorer's stop rule exactly: the first violation at which the serial
 /// loop would have stopped cuts the merge at that unit's checkpoint, and
 /// everything beyond (speculative worker results) is discarded.
+/// The `bss-counterexample v2` decision token ("3", "c1", "r0", "s2"), for
+/// human-readable event fields.
+std::string action_token(int decision) {
+  const Action action = decode_action(decision);
+  switch (action.kind) {
+    case ActionKind::kGrant:
+      return std::to_string(action.pid);
+    case ActionKind::kCrash:
+      return "c" + std::to_string(action.pid);
+    case ActionKind::kRestart:
+      return "r" + std::to_string(action.pid);
+    case ActionKind::kScFailure:
+      return "s" + std::to_string(action.pid);
+  }
+  return std::to_string(decision);
+}
+
 MergeOutcome merge_pass(std::vector<PassUnit>& units,
                         const ExploreOptions& opts, ExploreResult& result,
                         std::set<FaultPoint>& fault_points) {
   MergeOutcome out;
+  obs::ObsSink* sink = opts.telemetry;
+  const bool events = sink != nullptr && sink->events_enabled();
+  // Violation and fault-point-first-coverage events are emitted HERE, at
+  // merge time, not where workers found them: the merge runs in DFS order
+  // on one thread, so the event stream (kind, step, fields) is identical
+  // for every worker count — only the timing channel varies.
+  const auto note_violation = [&](Counterexample&& cex) {
+    if (events) {
+      obs::Event event;
+      event.kind = "violation.found";
+      event.step = result.violations.size();
+      event.fields.emplace_back("violation", cex.violation);
+      event.fields.emplace_back("decisions",
+                                std::to_string(cex.decisions.size()));
+      event.fields.emplace_back("faults", std::to_string(cex.fault_count()));
+      event.fields.emplace_back("shrunk_from",
+                                std::to_string(cex.shrunk_from));
+      sink->emit(std::move(event));
+    }
+    result.violations.push_back(std::move(cex));
+  };
+  const auto cover_fault_points = [&](const std::set<FaultPoint>& points) {
+    for (const FaultPoint& point : points) {
+      if (!fault_points.insert(point).second) continue;
+      if (events) {
+        obs::Event event;
+        event.kind = "coverage.fault_point";
+        event.step = fault_points.size() - 1;
+        event.fields.emplace_back("action", action_token(point.first));
+        event.fields.emplace_back("victim_steps",
+                                  std::to_string(point.second));
+        sink->emit(std::move(event));
+      }
+    }
+  };
   for (auto& pass_unit : units) {
     UnitResult& unit = pass_unit.result;
     expects(!unit.skipped,
@@ -888,22 +1060,22 @@ MergeOutcome merge_pass(std::vector<PassUnit>& units,
       const UnitCheckpoint& cp = unit.checkpoints[*cut];
       result.stats.merge_from(cp.stats);
       result.audit.merge_from(cp.audit);
-      fault_points.insert(cp.fault_points.begin(), cp.fault_points.end());
+      cover_fault_points(cp.fault_points);
       out.budget_limited |= cp.budget_limited;
       out.fault_limited |= cp.fault_limited;
       for (std::size_t i = 0; i <= *cut; ++i) {
-        result.violations.push_back(std::move(unit.violations[i]));
+        note_violation(std::move(unit.violations[i]));
       }
       out.stopped = true;
       break;
     }
     result.stats.merge_from(unit.stats);
     result.audit.merge_from(unit.audit);
-    fault_points.insert(unit.fault_points.begin(), unit.fault_points.end());
+    cover_fault_points(unit.fault_points);
     out.budget_limited |= unit.budget_limited;
     out.fault_limited |= unit.fault_limited;
     for (auto& cex : unit.violations) {
-      result.violations.push_back(std::move(cex));
+      note_violation(std::move(cex));
     }
     if (unit.cap_hit) {
       out.cap_hit = true;
@@ -968,6 +1140,21 @@ Counterexample minimize_counterexample(const ExplorableSystem& system,
     ++used;
     if (stats != nullptr) ++stats->shrink_runs;
   };
+  // ddmin progress events: stamped with the re-execution count *within this
+  // minimization*, so the per-counterexample shrink trajectory is
+  // deterministic even when several minimizations interleave across workers.
+  obs::ObsSink* sink = options.telemetry;
+  const bool events = sink != nullptr && sink->events_enabled();
+  const auto emit_ddmin = [&](const char* kind, std::size_t from,
+                              std::size_t to) {
+    if (!events) return;
+    obs::Event event;
+    event.kind = kind;
+    event.step = used;
+    event.fields.emplace_back("from", std::to_string(from));
+    event.fields.emplace_back("to", std::to_string(to));
+    sink->emit(std::move(event));
+  };
   // The shrink analogue of max_schedules: ddmin replays on a pathological
   // tape must not run unboundedly after the exploration budget is spent.
   const auto budget_left = [&] {
@@ -984,6 +1171,7 @@ Counterexample minimize_counterexample(const ExplorableSystem& system,
   std::vector<int> best = std::move(current.canonical);
   std::string violation = std::move(current.violation);
   cex.shrunk_from = std::max(cex.decisions.size(), best.size());
+  emit_ddmin("ddmin.start", cex.shrunk_from, best.size());
 
   // Greedy ddmin-style chunk deletion: drop spans of halving size wherever
   // the violation still reproduces.  The fallback completes a truncated
@@ -1012,6 +1200,7 @@ Counterexample minimize_counterexample(const ExplorableSystem& system,
       count_run();
       TapeResult attempt = run_tape(system, options, candidate);
       if (attempt.reproduced && attempt.canonical.size() < best.size()) {
+        emit_ddmin("ddmin.accept", best.size(), attempt.canonical.size());
         best = std::move(attempt.canonical);
         violation = std::move(attempt.violation);
         // retry the same start position against the new, shorter tape
@@ -1022,6 +1211,8 @@ Counterexample minimize_counterexample(const ExplorableSystem& system,
     if (budget_hit || chunk == 1) break;
   }
   if (budget_hit && stats != nullptr) ++stats->shrink_budget_hits;
+  emit_ddmin(budget_hit ? "ddmin.budget_hit" : "ddmin.done", cex.shrunk_from,
+             best.size());
 
   cex.decisions = std::move(best);
   cex.violation = std::move(violation);
@@ -1033,7 +1224,8 @@ ReplayOutcome replay_counterexample(const ExplorableSystem& system,
                                     const ExploreOptions& requested) {
   ExploreOptions options = requested;
   options.audit = resolve_audit(requested);
-  TapeResult result = run_tape(system, options, cex.decisions);
+  TapeResult result = run_tape(system, options, cex.decisions,
+                               options.telemetry);
   ReplayOutcome outcome;
   outcome.violated = result.reproduced;
   outcome.violation = std::move(result.violation);
@@ -1051,6 +1243,26 @@ ExploreResult explore(const ExplorableSystem& system,
   result.audit.enabled = options.audit;
   const int jobs = resolve_jobs(options);
   const std::size_t shard_at = resolve_shard_depth(options, system, jobs);
+
+  obs::ObsSink* sink = options.telemetry;
+  const bool events = sink != nullptr && sink->events_enabled();
+  const bool spans = sink != nullptr && sink->timeline_enabled();
+  const auto wall_begin = std::chrono::steady_clock::now();
+  if (events) {
+    obs::Event event;
+    event.kind = "explore.start";
+    event.fields.emplace_back("system", system.name());
+    event.fields.emplace_back("jobs", std::to_string(jobs));
+    event.fields.emplace_back("shard_depth", std::to_string(shard_at));
+    sink->emit(std::move(event));
+  }
+  if (sink != nullptr) {
+    if (obs::MetricShard* shard =
+            sink->metric_shard(obs::Event::kCoordinator)) {
+      shard->gauge_max("explore.jobs", static_cast<std::uint64_t>(jobs));
+      shard->gauge_max("explore.shard_depth", shard_at);
+    }
+  }
 
   // Chess-style iterative bounding: sweep small budgets first so the
   // simplest refutation surfaces; a budget that cut nothing covered the
@@ -1084,9 +1296,20 @@ ExploreResult explore(const ExplorableSystem& system,
   bool cap_hit = false;
   bool stopped = false;
   bool last_pass_budget_limited = false;
+  std::uint64_t pass_ordinal = 0;
   for (const int fault_budget : fault_budgets) {
     bool fault_limited_at_this_budget = false;
     for (const int budget : preemption_budgets) {
+      if (events) {
+        obs::Event event;
+        event.kind = "pass.start";
+        event.step = pass_ordinal;
+        event.fields.emplace_back("fault_budget",
+                                  std::to_string(faults_on ? fault_budget : 0));
+        event.fields.emplace_back("preemption_budget", std::to_string(budget));
+        sink->emit(std::move(event));
+      }
+      ++pass_ordinal;
       PassConfig cfg;
       cfg.base.budget = budget;
       cfg.base.fault_budget = faults_on ? fault_budget : 0;
@@ -1099,8 +1322,18 @@ ExploreResult explore(const ExplorableSystem& system,
       cfg.violations_so_far = result.violations.size();
       std::vector<PassUnit> units =
           run_pass(system, options, cfg, budget_valve);
+      const std::uint64_t merge_begin = spans ? sink->now_ns() : 0;
       const MergeOutcome merged =
           merge_pass(units, options, result, fault_points);
+      if (spans) {
+        obs::Span span;
+        span.name = "merge";
+        span.track = obs::Timeline::kCoordinatorTrack;
+        span.begin_ns = merge_begin;
+        span.end_ns = sink->now_ns();
+        span.args.emplace_back("units", std::to_string(units.size()));
+        sink->record_span(std::move(span));
+      }
       last_pass_budget_limited = merged.budget_limited;
       fault_limited_at_this_budget = merged.fault_limited;
       cap_hit |= merged.cap_hit;
@@ -1117,6 +1350,75 @@ ExploreResult explore(const ExplorableSystem& system,
   result.stats.fault_points = fault_points.size();
   result.exhausted = !cap_hit && !stopped && !last_pass_budget_limited &&
                      result.stats.truncated == 0;
+
+  if (sink != nullptr) {
+    if (events) {
+      obs::Event event;
+      event.kind = "explore.done";
+      event.fields.emplace_back("schedules",
+                                std::to_string(result.stats.schedules));
+      event.fields.emplace_back("violations",
+                                std::to_string(result.violations.size()));
+      event.fields.emplace_back("exhausted", result.exhausted ? "1" : "0");
+      sink->emit(std::move(event));
+    }
+    obs::ReportBuilder report("explore", "explore()");
+    report.set_system(system.name());
+    report.environment("jobs", jobs);
+    report.environment("shard_depth",
+                       static_cast<std::uint64_t>(shard_at));
+    report.environment("processes", system.process_count());
+    report.option("max_depth", options.max_depth);
+    report.option("preemption_bound", options.preemption_bound);
+    report.option("iterative", options.iterative);
+    report.option("use_por", options.use_por);
+    report.option("max_schedules", options.max_schedules);
+    report.option("stop_at_first_violation", options.stop_at_first_violation);
+    report.option("max_violations",
+                  static_cast<std::uint64_t>(options.max_violations));
+    report.option("minimize", options.minimize);
+    report.option("shrink_budget", options.shrink_budget);
+    report.option("fault_bound", options.fault_bound);
+    report.option("audit", options.audit);
+    const ExploreStats& stats = result.stats;
+    report.stat("schedules", stats.schedules);
+    report.stat("transitions", stats.transitions);
+    report.stat("sleep_set_prunes", stats.sleep_set_prunes);
+    report.stat("preemption_prunes", stats.preemption_prunes);
+    report.stat("truncated", stats.truncated);
+    report.stat("max_depth_seen", stats.max_depth_seen);
+    report.stat("shrink_runs", stats.shrink_runs);
+    report.stat("shrink_budget_hits", stats.shrink_budget_hits);
+    report.stat("fault_prunes", stats.fault_prunes);
+    report.stat("faults_injected", stats.faults_injected);
+    report.stat("fault_points", stats.fault_points);
+    report.stat("violations", result.violations.size());
+    report.coverage("exhausted", result.exhausted);
+    report.coverage("passes", pass_ordinal);
+    report.coverage("cap_hit", cap_hit);
+    report.coverage("stopped", stopped);
+    for (const Counterexample& cex : result.violations) {
+      obs::json::Object violation;
+      violation.emplace("violation", obs::json::Value(cex.violation));
+      violation.emplace(
+          "decisions",
+          obs::json::Value(static_cast<std::uint64_t>(cex.decisions.size())));
+      violation.emplace(
+          "faults",
+          obs::json::Value(static_cast<std::uint64_t>(cex.fault_count())));
+      violation.emplace(
+          "shrunk_from",
+          obs::json::Value(static_cast<std::uint64_t>(cex.shrunk_from)));
+      report.violation(std::move(violation));
+    }
+    const auto wall_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall_begin)
+            .count();
+    report.timing("explore_wall_ns",
+                  static_cast<std::uint64_t>(wall_ns));
+    sink->report(report);
+  }
   return result;
 }
 

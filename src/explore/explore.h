@@ -70,6 +70,10 @@
 #include "runtime/trace.h"
 #include "util/checked.h"
 
+namespace bss::obs {
+class ObsSink;
+}  // namespace bss::obs
+
 namespace bss::explore {
 
 // ------------------------------------------------------------ decision tape
@@ -192,6 +196,14 @@ struct ExploreOptions {
   /// picked for every worker count and shard depth.  1 checks every
   /// schedule; 0 disables the cross-check.
   std::uint32_t audit_commute_sample = 16;
+  /// Telemetry sink (src/obs): per-worker metric shards, the structured
+  /// event log, worker timelines and the bss-runreport artifact.  nullptr —
+  /// the default — disables observability entirely.  The layer is
+  /// passive: stats, violations, artifacts and `exhausted` are
+  /// byte-identical with the sink attached or not, at every worker count
+  /// (metrics measure work *performed*, speculation included, so metric
+  /// values themselves are not worker-count invariant; see DESIGN.md §9).
+  obs::ObsSink* telemetry = nullptr;
 };
 
 /// Aggregated audit-layer results (ExploreOptions::audit).  Deliberately

@@ -1,0 +1,76 @@
+#include "obs/events.h"
+
+#include <chrono>
+
+#include "obs/json.h"
+
+namespace bss::obs {
+
+namespace {
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(capacity), epoch_ns_(steady_now_ns()) {}
+
+void EventLog::emit(Event event) {
+  const std::uint64_t now = steady_now_ns();
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++emitted_;
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  StampedEvent stamped;
+  stamped.event = std::move(event);
+  stamped.seq = emitted_ - 1;
+  stamped.wall_ns = now - epoch_ns_;
+  events_.push_back(std::move(stamped));
+}
+
+std::vector<StampedEvent> EventLog::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::uint64_t EventLog::emitted() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return emitted_;
+}
+
+std::uint64_t EventLog::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string EventLog::to_jsonl() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const StampedEvent& stamped : events_) {
+    // Deterministic channel first, timing channel quarantined at the end.
+    out += "{\"kind\":";
+    json::append_quoted(out, stamped.event.kind);
+    out += ",\"step\":" + std::to_string(stamped.event.step);
+    out += ",\"worker\":" + std::to_string(stamped.event.worker);
+    out += ",\"fields\":{";
+    bool first = true;
+    for (const auto& [key, value] : stamped.event.fields) {
+      if (!first) out.push_back(',');
+      first = false;
+      json::append_quoted(out, key);
+      out.push_back(':');
+      json::append_quoted(out, value);
+    }
+    out += "},\"timing\":{\"seq\":" + std::to_string(stamped.seq);
+    out += ",\"wall_ns\":" + std::to_string(stamped.wall_ns);
+    out += "}}\n";
+  }
+  return out;
+}
+
+}  // namespace bss::obs

@@ -1,0 +1,80 @@
+// Structured event log for exploration campaigns: schedule milestones,
+// violations, ddmin progress, fault-point first coverage, audit cross-check
+// samples, worker lifecycle, SimEnv crash/restart injections.
+//
+// Two channels, kept strictly apart so telemetry can be diffed across runs:
+//
+//  * The DETERMINISTIC channel is the Event itself — kind, a monotonic step
+//    stamp, the logical worker id, and string key/value fields.  Every
+//    field is a pure function of the exploration's deterministic state
+//    (decision tapes, merge order, per-unit counters), never of the clock.
+//    Worker lifecycle events are the one deliberate exception: which worker
+//    claimed which job IS scheduling-dependent, but their stamps are still
+//    logical claim counters, never clock readings.
+//
+//  * The TIMING channel is attached at emit(): an arrival sequence number
+//    and a wall-clock offset.  Both depend on thread interleaving and
+//    machine speed, which is why they are quarantined under a separate
+//    "timing" key in the JSONL export instead of being mixed into fields.
+//
+// The step stamp is monotonic PER (kind, emitter): violation events count
+// violations in merge order, ddmin events count shrink re-executions within
+// one minimization, SimEnv events carry the global step counter.  See
+// DESIGN.md §9 for the full taxonomy.
+//
+// The log is bounded: past `capacity` events the payload is dropped (the
+// drop is counted, never silent) so a runaway campaign cannot turn the
+// telemetry layer into an allocator stress test.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bss::obs {
+
+struct Event {
+  /// Logical worker id for events not tied to a worker-pool thread.
+  static constexpr int kCoordinator = -1;
+
+  std::string kind;
+  std::uint64_t step = 0;  ///< deterministic monotonic stamp (per kind/emitter)
+  int worker = kCoordinator;
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/// An Event plus its timing channel.
+struct StampedEvent {
+  Event event;
+  std::uint64_t seq = 0;      ///< arrival order across all emitters
+  std::uint64_t wall_ns = 0;  ///< steady-clock offset from log creation
+};
+
+class EventLog {
+ public:
+  explicit EventLog(std::size_t capacity = std::size_t{1} << 16);
+
+  /// Thread-safe append.  Beyond `capacity` the event is counted as
+  /// dropped and its payload discarded.
+  void emit(Event event);
+
+  std::vector<StampedEvent> events() const;
+  std::uint64_t emitted() const;  ///< total emit() calls, drops included
+  std::uint64_t dropped() const;
+
+  /// One JSON object per line:
+  /// {"kind":…,"step":…,"worker":…,"fields":{…},"timing":{"seq":…,"wall_ns":…}}
+  std::string to_jsonl() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<StampedEvent> events_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t epoch_ns_ = 0;
+};
+
+}  // namespace bss::obs

@@ -1,0 +1,50 @@
+#include "obs/obs.h"
+
+#include <utility>
+
+namespace bss::obs {
+
+Telemetry::Telemetry(Options options)
+    : options_(std::move(options)), events_(options_.event_capacity) {}
+
+MetricShard* Telemetry::metric_shard(int worker) {
+  if (!options_.metrics) return nullptr;
+  return &metrics_.shard(worker);
+}
+
+bool Telemetry::events_enabled() const { return options_.events; }
+
+void Telemetry::emit(Event event) {
+  if (!options_.events) return;
+  events_.emit(std::move(event));
+}
+
+bool Telemetry::timeline_enabled() const { return options_.timeline; }
+
+std::uint64_t Telemetry::now_ns() const {
+  if (!options_.timeline) return 0;
+  return timeline_.now_ns();
+}
+
+void Telemetry::record_span(Span span) {
+  if (!options_.timeline) return;
+  timeline_.record(std::move(span));
+}
+
+void Telemetry::report(ReportBuilder& builder) {
+  if (options_.metrics) builder.metrics(metrics_.snapshot());
+  if (options_.events) builder.events(events_.emitted(), events_.dropped());
+  last_report_ = builder.to_json();
+  if (!options_.report_path.empty()) {
+    write_file(options_.report_path, last_report_);
+  }
+  if (!options_.trace_path.empty()) {
+    write_file(options_.trace_path, timeline_.to_chrome_trace());
+  }
+}
+
+MetricsSnapshot Telemetry::metrics_snapshot() const {
+  return metrics_.snapshot();
+}
+
+}  // namespace bss::obs

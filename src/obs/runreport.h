@@ -1,0 +1,98 @@
+// `bss-runreport v1` — the schema-versioned run artifact of the telemetry
+// layer, written next to `bss-counterexample` artifacts and emitted by both
+// explore() and every bench binary, so benchmark trajectories and
+// exploration campaigns diff under ONE schema across PRs.
+//
+// Top-level document shape (all keys optional unless marked required):
+//
+//   {
+//     "schema": "bss-runreport v1",      // required, exact string
+//     "kind": "explore" | "bench",       // required
+//     "producer": "explore()" | "bench_explore" | …,   // required
+//     "system": "one_shot[…]",           // explored system, "" for benches
+//     "environment": { … },              // host/config facts (jobs, threads)
+//     "options": { … },                  // the knobs the run was given
+//     "stats": { name: integer, … },     // deterministic result counters
+//     "coverage": { … },                 // fault points, exhausted, …
+//     "violations": [ { … }, … ],        // per-counterexample summaries
+//     "rows": [ { … }, … ],              // bench table rows, one object each
+//     "metrics": { counters/gauges/histograms },   // MetricsSnapshot
+//     "events": { "emitted": N, "dropped": N },
+//     "timing": { "wall_seconds": … }    // wall-clock channel, quarantined
+//   }
+//
+// Everything outside "timing" is the deterministic channel; "timing" is the
+// only place wall-clock may appear.  Consumers must reject documents whose
+// schema line is missing or names a version they do not understand —
+// exactly the `bss-counterexample v2` policy — and the CI gate
+// (tools/report_check) additionally rejects unknown top-level keys so
+// schema drift fails loudly instead of silently forking the format.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace bss::obs {
+
+inline constexpr std::string_view kRunReportSchema = "bss-runreport v1";
+
+/// Incremental builder; every setter feeds the deterministic channel except
+/// timing().  build()/to_json() may be called repeatedly.
+class ReportBuilder {
+ public:
+  ReportBuilder(std::string kind, std::string producer);
+
+  void set_system(std::string system);
+  void environment(const std::string& key, json::Value value);
+  void option(const std::string& key, json::Value value);
+  void stat(const std::string& key, std::uint64_t value);
+  void coverage(const std::string& key, json::Value value);
+  void violation(json::Object summary);
+  void row(json::Object row);
+  void metrics(const MetricsSnapshot& snapshot);
+  void events(std::uint64_t emitted, std::uint64_t dropped);
+  /// Wall-clock channel — the ONLY nondeterministic data in the document.
+  void timing(const std::string& key, json::Value value);
+
+  json::Value build() const;
+  /// Pretty-printed document with a trailing newline (file-ready).
+  std::string to_json() const;
+
+ private:
+  json::Object root_;
+};
+
+/// A parsed report.  parse() enforces the version gate: a missing schema
+/// key or any value other than `kRunReportSchema` is a hard reject (the
+/// artifact may be a future version this binary cannot interpret).
+struct RunReport {
+  json::Value root;
+
+  static std::optional<RunReport> parse(std::string_view text,
+                                        std::string* error = nullptr);
+
+  std::string kind() const;
+  std::string producer() const;
+  std::string system() const;
+  /// stats[name], or `fallback` when absent/mistyped.
+  std::uint64_t stat(const std::string& name, std::uint64_t fallback = 0) const;
+  const json::Object* stats() const;
+  const json::Array* rows() const;
+};
+
+/// Full schema validation for the CI gate: parse failure, missing/unknown
+/// schema version, unknown top-level keys, or wrong-typed known keys each
+/// produce one human-readable error.  Empty result == valid.
+std::vector<std::string> validate_runreport(std::string_view text);
+
+/// Writes `text` to `path` atomically enough for artifacts (truncate +
+/// write + close); returns false on any I/O failure.
+bool write_file(const std::string& path, std::string_view text);
+
+}  // namespace bss::obs

@@ -1,7 +1,9 @@
 #include "runtime/sim_env.h"
 
 #include <sstream>
+#include <utility>
 
+#include "obs/obs.h"
 #include "util/checked.h"
 
 namespace bss::sim {
@@ -124,6 +126,25 @@ int SimEnv::add_process(std::function<void(Ctx&)> body,
 void SimEnv::set_access_observer(audit::AccessObserver* observer) {
   expects(!ran_ && !started_, "set_access_observer after the run began");
   observer_ = observer;
+}
+
+void SimEnv::set_obs_sink(obs::ObsSink* sink) {
+  expects(!ran_ && !started_, "set_obs_sink after the run began");
+  obs_sink_ = sink;
+}
+
+void SimEnv::note_fault_event(const char* kind, int pid) {
+  if (obs_sink_ == nullptr || finishing_ || !obs_sink_->events_enabled()) {
+    return;
+  }
+  obs::Event event;
+  event.kind = kind;
+  event.step = step_;  // global step counter: deterministic for replays
+  event.fields.emplace_back("pid", std::to_string(pid));
+  event.fields.emplace_back(
+      "victim_steps",
+      std::to_string(procs_[static_cast<std::size_t>(pid)].ctx->steps_taken()));
+  obs_sink_->emit(std::move(event));
 }
 
 bool SimEnv::restart_supported(int pid) const {
@@ -263,6 +284,7 @@ TraceEvent SimEnv::step_process(int pid) {
 void SimEnv::kill_process(int pid) {
   Proc& proc = procs_[static_cast<std::size_t>(pid)];
   if (proc.state != State::kReady) return;
+  note_fault_event("sim.crash", pid);
   proc.crash_requested = true;
   proc.go->release();
   arrived_.acquire();
@@ -272,6 +294,7 @@ void SimEnv::restart_process(int pid) {
   Proc& proc = procs_[static_cast<std::size_t>(pid)];
   expects(proc.state == State::kReady, "restart_process: process is not parked");
   expects(restart_supported(pid), "restart_process: process has no restart hook");
+  note_fault_event("sim.restart", pid);
   proc.restart_requested = true;
   proc.crash_requested = true;
   proc.go->release();
@@ -284,6 +307,7 @@ void SimEnv::inject_sc_failure(int pid) {
           "inject_sc_failure: process is not parked");
   expects(proc.pending.op == "sc",
           "inject_sc_failure: pending operation is not a store-conditional");
+  note_fault_event("sim.sc_failure", pid);
   proc.sc_failure_pending = true;
 }
 
@@ -313,6 +337,7 @@ RunReport SimEnv::snapshot_report() const {
 void SimEnv::finish() {
   if (!started_ || finished_) return;
   finished_ = true;
+  finishing_ = true;  // shutdown kills are not fault injections
   for (int pid = 0; pid < process_count(); ++pid) kill_process(pid);
   for (auto& proc : procs_) {
     if (proc.thread.joinable()) proc.thread.join();

@@ -41,6 +41,10 @@
 #include "runtime/scheduler.h"
 #include "runtime/trace.h"
 
+namespace bss::obs {
+class ObsSink;
+}  // namespace bss::obs
+
 namespace bss::sim {
 
 class SimEnv;
@@ -163,6 +167,16 @@ class SimEnv {
   /// results — and must outlive the run.  Call before run()/start().
   void set_access_observer(audit::AccessObserver* observer);
 
+  /// Attaches a telemetry sink (src/obs) before the run: fault injections
+  /// (kill_process, restart_process, inject_sc_failure) emit sim.crash /
+  /// sim.restart / sim.sc_failure events stamped with the global step
+  /// counter.  Passive, like the access observer: attaching one changes
+  /// neither scheduling nor results.  The engine's own shutdown kills in
+  /// finish() are NOT events — only explicit injections are.  The explorer
+  /// attaches this on counterexample replays only (exploration re-runs the
+  /// factory thousands of times and would flood the bounded log).
+  void set_obs_sink(obs::ObsSink* sink);
+
   /// Executes the system to quiescence (all processes finished/crashed) or
   /// to the step limit.  May be called exactly once (and not after start()).
   /// CrashPlan call sites keep working through the implicit FaultPlan lift.
@@ -241,8 +255,14 @@ class SimEnv {
   void park(int pid, OpDesc desc);
   void launch();  // build procs_ and serially start the threads
 
+  // Emits a sim.* fault-injection event through obs_sink_ (no-op when
+  // detached or during finish()'s shutdown kills).
+  void note_fault_event(const char* kind, int pid);
+
   SimOptions options_;
   audit::AccessObserver* observer_ = nullptr;
+  obs::ObsSink* obs_sink_ = nullptr;
+  bool finishing_ = false;  ///< suppresses events for shutdown kills
   int window_pid_ = -1;  ///< grantee of the currently open window, or -1
   std::vector<std::function<void(Ctx&)>> bodies_;
   std::vector<std::function<void(Ctx&)>> restart_hooks_;  // empty = fail-stop only

@@ -265,5 +265,74 @@ TEST(ParallelExplore, HundredSeedParallelConcurrentRestartStorm) {
   for (const std::string& failure : failures) EXPECT_EQ(failure, "");
 }
 
+// -------------------------------------------------- ExploreStats::merge_from
+// The DFS-ordered merge folds per-subtree stats with merge_from; these pin
+// down the fold's algebra: empty is the identity, disjoint shards merge the
+// same in either order, and budget-hit counters accumulate rather than
+// overwrite.
+
+ExploreStats sample_stats(std::uint64_t base) {
+  ExploreStats stats;
+  stats.schedules = base + 1;
+  stats.transitions = base + 2;
+  stats.sleep_set_prunes = base + 3;
+  stats.preemption_prunes = base + 4;
+  stats.truncated = base + 5;
+  stats.max_depth_seen = base + 6;
+  stats.shrink_runs = base + 7;
+  stats.shrink_budget_hits = base + 8;
+  stats.fault_prunes = base + 9;
+  stats.faults_injected = base + 10;
+  return stats;
+}
+
+TEST(ExploreStatsMerge, EmptyIsTheIdentity) {
+  ExploreStats stats = sample_stats(100);
+  const std::string before = stats.summary();
+  stats.merge_from(ExploreStats{});
+  EXPECT_EQ(stats.summary(), before);
+
+  ExploreStats empty;
+  empty.merge_from(stats);
+  EXPECT_EQ(empty.summary(), before);
+}
+
+TEST(ExploreStatsMerge, CommutesOnDisjointShards) {
+  ExploreStats left = sample_stats(10);
+  ExploreStats right = sample_stats(2000);
+  ExploreStats left_first = left;
+  left_first.merge_from(right);
+  ExploreStats right_first = right;
+  right_first.merge_from(left);
+  EXPECT_EQ(left_first.summary(), right_first.summary());
+  // Counters added, max_depth_seen maxed.
+  EXPECT_EQ(left_first.schedules, left.schedules + right.schedules);
+  EXPECT_EQ(left_first.max_depth_seen, right.max_depth_seen);
+}
+
+TEST(ExploreStatsMerge, ShrinkBudgetHitsAccumulateAcrossShards) {
+  ExploreStats total;
+  for (std::uint64_t shard = 0; shard < 3; ++shard) {
+    ExploreStats piece;
+    piece.shrink_runs = 5;
+    piece.shrink_budget_hits = shard;  // 0, 1, 2
+    total.merge_from(piece);
+  }
+  EXPECT_EQ(total.shrink_runs, 15u);
+  EXPECT_EQ(total.shrink_budget_hits, 3u);
+}
+
+TEST(ExploreStatsMerge, FaultPointsAreNotSummedByMerge) {
+  // Distinct fault sites dedup through a set in explore(); a naive sum
+  // would double-count sites shared between subtrees, so merge_from must
+  // leave the field alone.
+  ExploreStats total;
+  total.fault_points = 7;
+  ExploreStats piece;
+  piece.fault_points = 5;
+  total.merge_from(piece);
+  EXPECT_EQ(total.fault_points, 7u);
+}
+
 }  // namespace
 }  // namespace bss::explore

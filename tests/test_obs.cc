@@ -1,0 +1,470 @@
+// Telemetry layer tests (DESIGN.md §9): metric primitives and their
+// deterministic merge, the bounded event log's two channels, the Chrome
+// trace export's track structure, the bss-runreport v1 round-trip and its
+// version/schema gates — and the passivity contract: attaching a Telemetry
+// sink to explore() must leave every result byte-identical, at every worker
+// count, across the whole mutant suite.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/mutant_elections.h"
+#include "core/recoverable_election.h"
+#include "explore/election_systems.h"
+#include "explore/explore.h"
+#include "obs/obs.h"
+#include "util/checked.h"
+
+namespace bss::obs {
+namespace {
+
+using core::OneShotMutant;
+using core::RestartBehavior;
+using explore::ExplorableSystem;
+using explore::ExploreOptions;
+using explore::ExploreResult;
+using explore::LlScSystem;
+using explore::OneShotSystem;
+using explore::RecoverableFvtSystem;
+
+// ------------------------------------------------------------- histograms
+
+TEST(Histogram, BoundsAreInclusiveUpperEdges) {
+  HistogramData hist({1, 2, 4});
+  ASSERT_EQ(hist.counts.size(), 4u);  // 3 bounds + overflow
+  hist.observe(0);  // <= 1
+  hist.observe(1);  // <= 1 (boundary is inclusive)
+  hist.observe(2);  // <= 2 (exact boundary)
+  hist.observe(3);  // <= 4
+  hist.observe(4);  // <= 4 (exact boundary)
+  hist.observe(5);  // overflow bucket
+  EXPECT_EQ(hist.counts[0], 2u);
+  EXPECT_EQ(hist.counts[1], 1u);
+  EXPECT_EQ(hist.counts[2], 2u);
+  EXPECT_EQ(hist.counts[3], 1u);
+  EXPECT_EQ(hist.count, 6u);
+  EXPECT_EQ(hist.sum, 0u + 1 + 2 + 3 + 4 + 5);
+}
+
+TEST(Histogram, EmptyBoundsCollapseToOneOverflowBucket) {
+  HistogramData hist;
+  ASSERT_EQ(hist.counts.size(), 1u);
+  hist.observe(0);
+  hist.observe(1u << 30);
+  EXPECT_EQ(hist.counts[0], 2u);
+  EXPECT_EQ(hist.count, 2u);
+}
+
+TEST(Histogram, MergeAddsBucketwise) {
+  HistogramData a({1, 2});
+  HistogramData b({1, 2});
+  a.observe(1);
+  a.observe(9);
+  b.observe(1);
+  b.observe(2);
+  a.merge_from(b);
+  EXPECT_EQ(a.counts[0], 2u);
+  EXPECT_EQ(a.counts[1], 1u);
+  EXPECT_EQ(a.counts[2], 1u);
+  EXPECT_EQ(a.count, 4u);
+  EXPECT_EQ(a.sum, 1u + 9 + 1 + 2);
+}
+
+TEST(Histogram, MergeRejectsMismatchedBounds) {
+  HistogramData a({1, 2});
+  HistogramData b({1, 4});
+  EXPECT_THROW(a.merge_from(b), InvariantError);
+}
+
+TEST(Histogram, Pow2BoundsShape) {
+  const auto bounds = pow2_bounds(4);
+  EXPECT_EQ(bounds, (std::vector<std::uint64_t>{1, 2, 4, 8}));
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(MetricsRegistry, SnapshotIsShardOrderIndependent) {
+  // Two registries fed identical data through shards created and written in
+  // opposite orders must produce byte-identical snapshots.
+  const auto feed = [](MetricShard& shard, std::uint64_t base) {
+    shard.counter("explore.schedules") += base;
+    shard.gauge_max("explore.max_depth", 10 * base);
+    shard.histogram("depth", {1, 2, 4}).observe(base);
+  };
+  MetricsRegistry forward;
+  feed(forward.shard(0), 1);
+  feed(forward.shard(1), 2);
+  feed(forward.shard(Event::kCoordinator), 3);
+  MetricsRegistry backward;
+  feed(backward.shard(Event::kCoordinator), 3);
+  feed(backward.shard(1), 2);
+  feed(backward.shard(0), 1);
+
+  const std::string lhs = forward.snapshot().to_json().dump(1);
+  const std::string rhs = backward.snapshot().to_json().dump(1);
+  EXPECT_EQ(lhs, rhs);
+
+  const MetricsSnapshot merged = forward.snapshot();
+  EXPECT_EQ(merged.counters.at("explore.schedules"), 6u);   // sums
+  EXPECT_EQ(merged.gauges.at("explore.max_depth"), 30u);    // maxes
+  EXPECT_EQ(merged.histograms.at("depth").count, 3u);       // bucket-adds
+}
+
+TEST(MetricsRegistry, CounterReferenceIsStableForHotLoops) {
+  MetricsRegistry registry;
+  std::uint64_t& cell = registry.shard(0).counter("hot");
+  for (int i = 0; i < 100; ++i) ++cell;
+  EXPECT_EQ(registry.snapshot().counters.at("hot"), 100u);
+}
+
+// -------------------------------------------------------------- event log
+
+TEST(EventLog, CapacityBoundsDropsAreCountedNeverSilent) {
+  EventLog log(/*capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    Event event;
+    event.kind = "test.tick";
+    event.step = static_cast<std::uint64_t>(i);
+    log.emit(std::move(event));
+  }
+  EXPECT_EQ(log.events().size(), 2u);
+  EXPECT_EQ(log.emitted(), 5u);
+  EXPECT_EQ(log.dropped(), 3u);
+}
+
+TEST(EventLog, JsonlSeparatesDeterministicAndTimingChannels) {
+  EventLog log;
+  Event event;
+  event.kind = "violation.found";
+  event.step = 0;
+  event.fields.emplace_back("violation", "two leaders");
+  log.emit(std::move(event));
+
+  std::istringstream lines(log.to_jsonl());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  std::string error;
+  const auto parsed = json::Value::parse(line, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const auto& object = parsed->as_object();
+  EXPECT_EQ(object.at("kind").as_string(), "violation.found");
+  EXPECT_EQ(object.at("step").as_int(), 0);
+  EXPECT_EQ(object.at("worker").as_int(), Event::kCoordinator);
+  EXPECT_EQ(object.at("fields").as_object().at("violation").as_string(),
+            "two leaders");
+  // The wall clock lives only under "timing".
+  const json::Value* timing = parsed->find("timing");
+  ASSERT_NE(timing, nullptr);
+  EXPECT_NE(timing->find("wall_ns"), nullptr);
+  EXPECT_NE(timing->find("seq"), nullptr);
+}
+
+// ---------------------------------------------------------------- timeline
+
+TEST(Timeline, ChromeTraceHasOneTrackPerWorkerPlusCoordinator) {
+  Timeline timeline;
+  const auto span = [&](const char* name, int track) {
+    Span s;
+    s.name = name;
+    s.track = track;
+    s.begin_ns = 1000;
+    s.end_ns = 2000;
+    timeline.record(std::move(s));
+  };
+  span("job", 0);
+  span("job", 1);
+  span("enumerate", Timeline::kCoordinatorTrack);
+
+  std::string error;
+  const auto parsed = json::Value::parse(timeline.to_chrome_trace(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const auto& events = parsed->as_object().at("traceEvents").as_array();
+  std::set<std::int64_t> named_tracks;
+  int complete_events = 0;
+  bool coordinator_named = false;
+  for (const auto& entry : events) {
+    const auto& object = entry.as_object();
+    const std::string& phase = object.at("ph").as_string();
+    if (phase == "M") {
+      named_tracks.insert(object.at("tid").as_int());
+      if (object.at("args").as_object().at("name").as_string() ==
+          "enumerate+merge") {
+        coordinator_named = true;
+      }
+    } else if (phase == "X") {
+      ++complete_events;
+    }
+  }
+  EXPECT_EQ(named_tracks,
+            (std::set<std::int64_t>{0, 1, Timeline::kCoordinatorTrack}));
+  EXPECT_EQ(complete_events, 3);
+  EXPECT_TRUE(coordinator_named);
+}
+
+// --------------------------------------------------------------- runreport
+
+ReportBuilder sample_report() {
+  ReportBuilder builder("explore", "test");
+  builder.set_system("one_shot[k=4,n=2]");
+  builder.environment("jobs", 4);
+  builder.option("fault_bound", 1);
+  builder.stat("schedules", 123);
+  builder.coverage("exhausted", true);
+  builder.events(7, 0);
+  builder.timing("explore_wall_ns", 42);
+  return builder;
+}
+
+TEST(RunReport, RoundTripsThroughParse) {
+  const std::string text = sample_report().to_json();
+  std::string error;
+  const auto report = RunReport::parse(text, &error);
+  ASSERT_TRUE(report.has_value()) << error;
+  EXPECT_EQ(report->kind(), "explore");
+  EXPECT_EQ(report->producer(), "test");
+  EXPECT_EQ(report->system(), "one_shot[k=4,n=2]");
+  EXPECT_EQ(report->stat("schedules"), 123u);
+  EXPECT_EQ(report->stat("absent", 9), 9u);
+  // dump(parse(text)) is a fixed point — canonical output.
+  EXPECT_EQ(report->root.dump(1) + "\n", text);
+}
+
+TEST(RunReport, RejectsUnknownSchemaVersion) {
+  std::string error;
+  EXPECT_FALSE(RunReport::parse(
+                   R"({"schema": "bss-runreport v9", "kind": "bench"})",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("unknown schema version"), std::string::npos) << error;
+}
+
+TEST(RunReport, RejectsMissingSchemaKey) {
+  std::string error;
+  EXPECT_FALSE(
+      RunReport::parse(R"({"kind": "bench", "producer": "x"})", &error)
+          .has_value());
+}
+
+TEST(RunReport, ValidatorAcceptsBuilderOutput) {
+  EXPECT_TRUE(validate_runreport(sample_report().to_json()).empty());
+}
+
+TEST(RunReport, ValidatorRejectsUnknownTopLevelKey) {
+  auto root = json::Value::parse(sample_report().to_json())->as_object();
+  root.emplace("surprise", 1);
+  const auto errors = validate_runreport(json::Value(root).dump(1));
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("unknown top-level key \"surprise\""),
+            std::string::npos)
+      << errors[0];
+}
+
+TEST(RunReport, ValidatorRejectsNonIntegerStats) {
+  auto root = json::Value::parse(sample_report().to_json())->as_object();
+  root["stats"].as_object()["schedules"] = json::Value("lots");
+  EXPECT_FALSE(validate_runreport(json::Value(root).dump(1)).empty());
+}
+
+// ------------------------------------------------------ explore passivity
+
+/// Byte-level equality of two ExploreResults, the same contract the
+/// parallel-determinism suite asserts across worker counts.
+void expect_identical(const ExploreResult& reference,
+                      const ExploreResult& candidate,
+                      const std::string& label) {
+  EXPECT_EQ(reference.stats.summary(), candidate.stats.summary()) << label;
+  EXPECT_EQ(reference.exhausted, candidate.exhausted) << label;
+  ASSERT_EQ(reference.violations.size(), candidate.violations.size()) << label;
+  for (std::size_t i = 0; i < reference.violations.size(); ++i) {
+    EXPECT_EQ(reference.violations[i].to_artifact(),
+              candidate.violations[i].to_artifact())
+        << label << " violation " << i;
+  }
+}
+
+/// Explores `system` without telemetry, then with metrics-only and with the
+/// full sink, serial and at jobs=4 — six runs whose results must all be
+/// byte-identical to the reference.
+void expect_telemetry_passive(const ExplorableSystem& system,
+                              ExploreOptions options) {
+  options.jobs = 1;
+  options.telemetry = nullptr;
+  const ExploreResult reference = explore::explore(system, options);
+  for (const int jobs : {1, 4}) {
+    for (const bool events : {false, true}) {
+      Telemetry::Options sink_options;
+      sink_options.metrics = true;
+      sink_options.events = events;
+      sink_options.timeline = events;
+      Telemetry telemetry(sink_options);
+      ExploreOptions instrumented = options;
+      instrumented.jobs = jobs;
+      instrumented.telemetry = &telemetry;
+      expect_identical(reference, explore::explore(system, instrumented),
+                       system.name() + " jobs=" + std::to_string(jobs) +
+                           (events ? " metrics+events" : " metrics"));
+    }
+  }
+}
+
+TEST(ObsPassivity, CleanOneShotExhaustiveSweep) {
+  expect_telemetry_passive(OneShotSystem(4, 2), {});
+}
+
+TEST(ObsPassivity, ClaimAfterCasMutant) {
+  expect_telemetry_passive(OneShotSystem(4, 3, OneShotMutant::kClaimAfterCas),
+                           {});
+}
+
+TEST(ObsPassivity, SplitCasMutant) {
+  expect_telemetry_passive(OneShotSystem(4, 2, OneShotMutant::kSplitCas), {});
+}
+
+TEST(ObsPassivity, ScBlindLlScMutant) {
+  expect_telemetry_passive(LlScSystem(3, 2, /*sc_blind=*/true), {});
+}
+
+TEST(ObsPassivity, FaultSweepWithCoverage) {
+  OneShotSystem system(4, 2, OneShotMutant::kNone, /*restartable=*/true);
+  ExploreOptions options;
+  options.fault_bound = 1;
+  options.iterative = true;
+  expect_telemetry_passive(system, options);
+}
+
+TEST(ObsPassivity, FreshClaimFaultRefutation) {
+  RecoverableFvtSystem system(3, 2, RestartBehavior::kFreshClaim);
+  ExploreOptions options;
+  options.fault_bound = 1;
+  options.iterative = true;
+  options.explore_crashes = false;
+  expect_telemetry_passive(system, options);
+}
+
+// ------------------------------------------------- event stream contents
+
+/// The deterministic channel of the merge-time and coordinator events:
+/// everything except worker lifecycle (whose fields are legitimately
+/// scheduling-dependent), ddmin progress (stamped per speculative
+/// minimization, so present in workers' discovery order), and explore.start
+/// (which records the jobs/shard_depth configuration under comparison).
+std::string deterministic_event_trace(const Telemetry& telemetry) {
+  std::string out;
+  for (const auto& stamped : telemetry.event_log().events()) {
+    const std::string& kind = stamped.event.kind;
+    if (kind.rfind("worker.", 0) == 0 || kind.rfind("ddmin.", 0) == 0 ||
+        kind.rfind("shrink.", 0) == 0 || kind == "explore.start") {
+      continue;
+    }
+    out += kind + "#" + std::to_string(stamped.event.step);
+    for (const auto& [key, value] : stamped.event.fields) {
+      out += " " + key + "=" + value;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(ObsEvents, MergeTimeEventStreamIsWorkerCountInvariant) {
+  OneShotSystem system(4, 3, OneShotMutant::kClaimAfterCas);
+  const auto trace_at = [&](int jobs) {
+    Telemetry::Options sink_options;
+    sink_options.timeline = true;
+    Telemetry telemetry(sink_options);
+    ExploreOptions options;
+    options.jobs = jobs;
+    options.telemetry = &telemetry;
+    (void)explore::explore(system, options);
+    return deterministic_event_trace(telemetry);
+  };
+  const std::string serial = trace_at(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_NE(serial.find("violation.found#0"), std::string::npos);
+  EXPECT_NE(serial.find("explore.done"), std::string::npos);
+  EXPECT_EQ(serial, trace_at(4));
+}
+
+TEST(ObsEvents, FaultPointCoverageEventsMatchCoverageCount) {
+  OneShotSystem system(4, 2, OneShotMutant::kNone, /*restartable=*/true);
+  Telemetry telemetry;
+  ExploreOptions options;
+  options.fault_bound = 1;
+  options.iterative = true;
+  options.telemetry = &telemetry;
+  const ExploreResult result = explore::explore(system, options);
+  std::uint64_t coverage_events = 0;
+  for (const auto& stamped : telemetry.event_log().events()) {
+    if (stamped.event.kind == "coverage.fault_point") ++coverage_events;
+  }
+  EXPECT_EQ(coverage_events, result.stats.fault_points);
+}
+
+TEST(ObsEvents, DdminEventsTraceEachMinimization) {
+  OneShotSystem system(4, 2, OneShotMutant::kSplitCas);
+  Telemetry telemetry;
+  ExploreOptions options;
+  options.telemetry = &telemetry;
+  const ExploreResult result = explore::explore(system, options);
+  ASSERT_FALSE(result.violations.empty());
+  std::uint64_t starts = 0;
+  std::uint64_t ends = 0;
+  for (const auto& stamped : telemetry.event_log().events()) {
+    if (stamped.event.kind == "ddmin.start") ++starts;
+    if (stamped.event.kind == "ddmin.done" ||
+        stamped.event.kind == "ddmin.budget_hit") {
+      ++ends;
+    }
+  }
+  EXPECT_GT(starts, 0u);
+  EXPECT_EQ(starts, ends);
+}
+
+TEST(ObsEvents, ReplayAttachesSimEnvFaultEvents) {
+  RecoverableFvtSystem system(3, 2, RestartBehavior::kFreshClaim);
+  ExploreOptions options;
+  options.fault_bound = 1;
+  options.iterative = true;
+  options.explore_crashes = false;
+  const ExploreResult result = explore::explore(system, options);
+  ASSERT_FALSE(result.violations.empty());
+  ASSERT_GT(result.violations[0].fault_count(), 0u);
+
+  Telemetry telemetry;
+  ExploreOptions replay_options = options;
+  replay_options.telemetry = &telemetry;
+  const auto outcome =
+      replay_counterexample(system, result.violations[0], replay_options);
+  EXPECT_TRUE(outcome.violated);
+  std::uint64_t sim_events = 0;
+  for (const auto& stamped : telemetry.event_log().events()) {
+    if (stamped.event.kind.rfind("sim.", 0) == 0) ++sim_events;
+  }
+  EXPECT_EQ(sim_events, result.violations[0].fault_count());
+}
+
+// ---------------------------------------------------- explore() runreport
+
+TEST(ObsReport, ExploreEmitsValidRunReport) {
+  OneShotSystem system(4, 3, OneShotMutant::kClaimAfterCas);
+  Telemetry telemetry;
+  ExploreOptions options;
+  options.telemetry = &telemetry;
+  const ExploreResult result = explore::explore(system, options);
+
+  ASSERT_FALSE(telemetry.last_report().empty());
+  EXPECT_TRUE(validate_runreport(telemetry.last_report()).empty());
+  const auto report = RunReport::parse(telemetry.last_report());
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->kind(), "explore");
+  EXPECT_EQ(report->producer(), "explore()");
+  EXPECT_EQ(report->system(), system.name());
+  EXPECT_EQ(report->stat("schedules"), result.stats.schedules);
+  EXPECT_EQ(report->stat("violations"), result.violations.size());
+}
+
+}  // namespace
+}  // namespace bss::obs

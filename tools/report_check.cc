@@ -1,0 +1,56 @@
+// report_check — the CI gate for `bss-runreport v1` artifacts.
+//
+// Validates every file named on the command line against the runreport
+// schema: parse failure, a missing or unknown schema version, unknown
+// top-level keys (schema drift must bump the version, not fork the format)
+// and wrong-typed known keys are each reported with the file name, and any
+// finding fails the whole invocation.  Prints one OK line per clean file so
+// the CI log shows what was actually checked.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/runreport.h"
+
+namespace {
+
+bool check_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::vector<std::string> errors =
+      bss::obs::validate_runreport(buffer.str());
+  for (const std::string& error : errors) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+  }
+  if (!errors.empty()) return false;
+  const auto report = bss::obs::RunReport::parse(buffer.str());
+  std::printf("%s: OK (%s from %s, %zu rows)\n", path.c_str(),
+              report->kind().c_str(), report->producer().c_str(),
+              report->rows() ? report->rows()->size() : 0);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s REPORT.json [REPORT.json ...]\n"
+                 "validates bss-runreport v1 artifacts; any schema error "
+                 "fails the run\n",
+                 argv[0]);
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    if (!check_file(argv[i])) ok = false;
+  }
+  return ok ? 0 : 1;
+}
