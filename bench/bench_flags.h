@@ -18,13 +18,24 @@ struct BenchFlags {
   /// When non-empty, a `bss-runreport v1` document is also written to this
   /// path (stdout keeps the table / --json rows either way).
   std::string out;
+  // Checkpoint/resume campaign flags (bench_explore only; other benches
+  // reject them like any unknown argument).
+  std::string campaign;          ///< run ONE named long campaign instead
+  std::string checkpoint;        ///< ExploreOptions::checkpoint_path
+  std::uint64_t checkpoint_every = 0;  ///< 0 keeps the explorer default
+  std::string resume;            ///< ExploreOptions::resume_path
 };
 
 inline void print_usage(const char* program, bool accepts_jobs,
-                        bool accepts_json = true) {
-  std::fprintf(stderr, "usage: %s%s%s [--out PATH]\n", program,
+                        bool accepts_json = true,
+                        bool accepts_checkpoint = false) {
+  std::fprintf(stderr, "usage: %s%s%s [--out PATH]%s\n", program,
                accepts_json ? " [--json]" : "",
-               accepts_jobs ? " [--jobs N]" : "");
+               accepts_jobs ? " [--jobs N]" : "",
+               accepts_checkpoint
+                   ? " [--campaign NAME] [--checkpoint PATH]"
+                     " [--checkpoint-every N] [--resume PATH]"
+                   : "");
   if (accepts_json) {
     std::fprintf(stderr, "  --json     print rows as a JSON array\n");
   }
@@ -36,18 +47,31 @@ inline void print_usage(const char* program, bool accepts_jobs,
   std::fprintf(stderr,
                "  --out PATH write a bss-runreport v1 artifact to PATH "
                "(stdout output is unchanged)\n");
+  if (accepts_checkpoint) {
+    std::fprintf(stderr,
+                 "  --campaign NAME      run one named campaign (skewed, "
+                 "mutant) instead of the tables\n"
+                 "  --checkpoint PATH    write bss-checkpoint v1 artifacts "
+                 "to PATH during the campaign\n"
+                 "  --checkpoint-every N checkpoint cadence in schedules "
+                 "(default: explorer default)\n"
+                 "  --resume PATH        resume the campaign from a "
+                 "bss-checkpoint v1 artifact\n");
+  }
 }
 
-/// Parses [--json] [--jobs N] [--out PATH] anywhere on the command line.
+/// Parses [--json] [--jobs N] [--out PATH] (and, with accepts_checkpoint,
+/// the campaign/checkpoint/resume flags) anywhere on the command line.
 /// Exits with status 2 (after printing usage) on unknown arguments, missing
 /// or malformed values; exits 0 on --help.  Benches whose stdout has no
 /// machine-readable twin pass accepts_json=false and --json is rejected
 /// like any other unknown flag.
 inline BenchFlags parse_flags(int argc, char** argv, bool accepts_jobs,
-                              bool accepts_json = true) {
+                              bool accepts_json = true,
+                              bool accepts_checkpoint = false) {
   BenchFlags flags;
   const auto fail = [&]() {
-    print_usage(argv[0], accepts_jobs, accepts_json);
+    print_usage(argv[0], accepts_jobs, accepts_json, accepts_checkpoint);
     std::exit(2);
   };
   const auto parse_jobs = [&](const char* value) {
@@ -56,32 +80,62 @@ inline BenchFlags parse_flags(int argc, char** argv, bool accepts_jobs,
     if (end == value || *end != '\0' || parsed < 1 || parsed > 64) fail();
     flags.jobs = static_cast<int>(parsed);
   };
-  const auto parse_out = [&](const char* value) {
+  const auto parse_string = [&](const char* value, std::string* into) {
     if (value[0] == '\0') fail();
-    flags.out = value;
+    *into = value;
+  };
+  const auto parse_every = [&](const char* value) {
+    char* end = nullptr;
+    const long long parsed = std::strtoll(value, &end, 10);
+    if (end == value || *end != '\0' || parsed < 1) fail();
+    flags.checkpoint_every = static_cast<std::uint64_t>(parsed);
+  };
+  // Flags taking a value accept both "--flag VALUE" and "--flag=VALUE".
+  const auto value_of = [&](const std::string& arg, const char* name,
+                            int* i) -> const char* {
+    const std::string prefix = std::string(name) + "=";
+    if (arg == name) {
+      if (*i + 1 >= argc) fail();
+      return argv[++*i];
+    }
+    if (arg.rfind(prefix, 0) == 0) return arg.c_str() + prefix.size();
+    return nullptr;
   };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    const char* value = nullptr;
     if (accepts_json && arg == "--json") {
       flags.json = true;
     } else if (arg == "--help" || arg == "-h") {
-      print_usage(argv[0], accepts_jobs, accepts_json);
+      print_usage(argv[0], accepts_jobs, accepts_json, accepts_checkpoint);
       std::exit(0);
-    } else if (accepts_jobs && arg == "--jobs") {
-      if (i + 1 >= argc) fail();
-      parse_jobs(argv[++i]);
-    } else if (accepts_jobs && arg.rfind("--jobs=", 0) == 0) {
-      parse_jobs(arg.c_str() + std::strlen("--jobs="));
-    } else if (arg == "--out") {
-      if (i + 1 >= argc) fail();
-      parse_out(argv[++i]);
-    } else if (arg.rfind("--out=", 0) == 0) {
-      parse_out(arg.c_str() + std::strlen("--out="));
+    } else if (accepts_jobs && (value = value_of(arg, "--jobs", &i))) {
+      parse_jobs(value);
+    } else if ((value = value_of(arg, "--out", &i))) {
+      parse_string(value, &flags.out);
+    } else if (accepts_checkpoint &&
+               (value = value_of(arg, "--campaign", &i))) {
+      parse_string(value, &flags.campaign);
+    } else if (accepts_checkpoint &&
+               (value = value_of(arg, "--checkpoint", &i))) {
+      parse_string(value, &flags.checkpoint);
+    } else if (accepts_checkpoint &&
+               (value = value_of(arg, "--checkpoint-every", &i))) {
+      parse_every(value);
+    } else if (accepts_checkpoint &&
+               (value = value_of(arg, "--resume", &i))) {
+      parse_string(value, &flags.resume);
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
                    arg.c_str());
       fail();
     }
+  }
+  if ((!flags.checkpoint.empty() || !flags.resume.empty()) &&
+      flags.campaign.empty()) {
+    std::fprintf(stderr,
+                 "%s: --checkpoint/--resume require --campaign\n", argv[0]);
+    fail();
   }
   return flags;
 }

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <exception>
+#include <fstream>
 #include <limits>
+#include <list>
 #include <mutex>
 #include <set>
 #include <sstream>
@@ -15,6 +18,7 @@
 
 #include "audit/commute_check.h"
 #include "audit/ledger.h"
+#include "explore/checkpoint.h"
 #include "obs/obs.h"
 #include "runtime/sim_env.h"
 #include "util/checked.h"
@@ -984,32 +988,17 @@ std::vector<PassUnit> run_pass(const ExplorableSystem& system,
   return units;
 }
 
-/// Folds a pass's units into `result` in DFS order, reproducing the serial
-/// explorer's stop rule exactly: the first violation at which the serial
-/// loop would have stopped cuts the merge at that unit's checkpoint, and
-/// everything beyond (speculative worker results) is discarded.
-/// The `bss-counterexample v2` decision token ("3", "c1", "r0", "s2"), for
-/// human-readable event fields.
-std::string action_token(int decision) {
-  const Action action = decode_action(decision);
-  switch (action.kind) {
-    case ActionKind::kGrant:
-      return std::to_string(action.pid);
-    case ActionKind::kCrash:
-      return "c" + std::to_string(action.pid);
-    case ActionKind::kRestart:
-      return "r" + std::to_string(action.pid);
-    case ActionKind::kScFailure:
-      return "s" + std::to_string(action.pid);
-  }
-  return std::to_string(decision);
-}
-
-MergeOutcome merge_pass(std::vector<PassUnit>& units,
-                        const ExploreOptions& opts, ExploreResult& result,
-                        std::set<FaultPoint>& fault_points) {
-  MergeOutcome out;
-  obs::ObsSink* sink = opts.telemetry;
+/// Folds ONE unit into `result` under the serial explorer's stop rule:
+/// the first violation at which the serial loop would have stopped cuts the
+/// fold at that unit's checkpoint, discarding everything the worker explored
+/// speculatively past the stop point.  Returns true when the merge ends AT
+/// this unit (violation cut or schedule cap) — later units must not be
+/// folded.  With a non-null `sink` the fold emits the deterministic
+/// merge-time events (the real merge); the checkpoint snapshot fold passes
+/// nullptr and reproduces the exact same fold silently, on copies.
+bool merge_one(UnitResult& unit, const ExploreOptions& opts,
+               ExploreResult& result, std::set<FaultPoint>& fault_points,
+               MergeOutcome& out, obs::ObsSink* sink) {
   const bool events = sink != nullptr && sink->events_enabled();
   // Violation and fault-point-first-coverage events are emitted HERE, at
   // merge time, not where workers found them: the merge runs in DFS order
@@ -1044,45 +1033,635 @@ MergeOutcome merge_pass(std::vector<PassUnit>& units,
       }
     }
   };
-  for (auto& pass_unit : units) {
-    UnitResult& unit = pass_unit.result;
-    expects(!unit.skipped,
-            "deterministic merge reached a subtree skipped by the barrier");
-    std::optional<std::size_t> cut;
-    for (std::size_t i = 0; i < unit.violations.size(); ++i) {
-      if (opts.stop_at_first_violation ||
-          result.violations.size() + i + 1 >= opts.max_violations) {
-        cut = i;
-        break;
-      }
-    }
-    if (cut.has_value()) {
-      const UnitCheckpoint& cp = unit.checkpoints[*cut];
-      result.stats.merge_from(cp.stats);
-      result.audit.merge_from(cp.audit);
-      cover_fault_points(cp.fault_points);
-      out.budget_limited |= cp.budget_limited;
-      out.fault_limited |= cp.fault_limited;
-      for (std::size_t i = 0; i <= *cut; ++i) {
-        note_violation(std::move(unit.violations[i]));
-      }
-      out.stopped = true;
+  std::optional<std::size_t> cut;
+  for (std::size_t i = 0; i < unit.violations.size(); ++i) {
+    if (opts.stop_at_first_violation ||
+        result.violations.size() + i + 1 >= opts.max_violations) {
+      cut = i;
       break;
     }
-    result.stats.merge_from(unit.stats);
-    result.audit.merge_from(unit.audit);
-    cover_fault_points(unit.fault_points);
-    out.budget_limited |= unit.budget_limited;
-    out.fault_limited |= unit.fault_limited;
-    for (auto& cex : unit.violations) {
-      note_violation(std::move(cex));
+  }
+  if (cut.has_value()) {
+    const UnitCheckpoint& cp = unit.checkpoints[*cut];
+    result.stats.merge_from(cp.stats);
+    result.audit.merge_from(cp.audit);
+    cover_fault_points(cp.fault_points);
+    out.budget_limited |= cp.budget_limited;
+    out.fault_limited |= cp.fault_limited;
+    for (std::size_t i = 0; i <= *cut; ++i) {
+      note_violation(std::move(unit.violations[i]));
     }
-    if (unit.cap_hit) {
-      out.cap_hit = true;
+    out.stopped = true;
+    return true;
+  }
+  result.stats.merge_from(unit.stats);
+  result.audit.merge_from(unit.audit);
+  cover_fault_points(unit.fault_points);
+  out.budget_limited |= unit.budget_limited;
+  out.fault_limited |= unit.fault_limited;
+  for (auto& cex : unit.violations) {
+    note_violation(std::move(cex));
+  }
+  if (unit.cap_hit) {
+    out.cap_hit = true;
+    return true;
+  }
+  return false;
+}
+
+/// Folds a pass's units into `result` in DFS order, reproducing the serial
+/// explorer's stop rule exactly via merge_one.
+MergeOutcome merge_pass(std::vector<PassUnit>& units,
+                        const ExploreOptions& opts, ExploreResult& result,
+                        std::set<FaultPoint>& fault_points) {
+  MergeOutcome out;
+  for (auto& pass_unit : units) {
+    expects(!pass_unit.result.skipped,
+            "deterministic merge reached a subtree skipped by the barrier");
+    if (merge_one(pass_unit.result, opts, result, fault_points, out,
+                  opts.telemetry)) {
       break;
     }
   }
   return out;
+}
+
+// ------------------------------------------------ work-stealing pass engine
+
+/// One unit of the stealing frontier: a contiguous segment of the pass's
+/// DFS, owned by at most one worker at a time.  `frames`/`floor`/`result`
+/// are the owner's last *published* snapshot (claim, split and checkpoint
+/// boundaries); between publishes the owner works on private copies, so a
+/// checkpoint taken from the snapshots simply re-explores anything past
+/// them on resume — sound, because unit exploration is a pure function of
+/// the frames.
+struct StealUnit {
+  enum class Status { kPending, kRunning, kComplete };
+  std::vector<Frame> frames;
+  std::size_t floor = 0;
+  UnitResult result;
+  Status status = Status::kPending;
+  bool abort = false;  ///< deterministic stop confirmed before this unit ran
+};
+
+/// Shared state of one stealing pass.  The std::list gives iterator-stable
+/// DFS order: a split inserts the thief unit right after its victim, so at
+/// every instant the list order IS the serial DFS order — which is what the
+/// frontier walk, the checkpoint fold and the final merge all rely on.
+struct StealPool {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::list<StealUnit> units;
+  std::size_t idle = 0;     ///< workers blocked waiting for a pending unit
+  std::size_t running = 0;  ///< units currently owned by a worker
+  bool stop_confirmed = false;
+  bool halt = false;  ///< halt_after_checkpoints fired (SIGKILL stand-in)
+  bool abort_all = false;
+  std::exception_ptr error;
+  /// The only hot-path coupling: owners poll this with a relaxed load at
+  /// run boundaries and take the lock only when it is set (idle thieves,
+  /// a due checkpoint, a confirmed stop, halt, or an error).
+  std::atomic<bool> attention{false};
+  std::atomic<bool> checkpoint_due{false};
+  std::atomic<std::uint64_t> last_checkpoint_at{0};
+  std::list<StealUnit>::iterator frontier;  ///< first non-merged-prefix unit
+  std::size_t frontier_violations = 0;
+};
+
+/// Splits the victim's DFS at its shallowest splittable depth >= floor +
+/// steal_depth: the thief takes the *rest of the victim's walk* — the
+/// unexplored siblings at depth d plus every backtrack below, down to the
+/// victim's old floor — while the victim keeps only its current depth-d
+/// subtree (its floor rises to d+1).  Both halves stay contiguous DFS
+/// segments with the victim's strictly first, so inserting the thief right
+/// after the victim preserves global DFS order; a later, necessarily deeper
+/// split inserts between them, which is again the DFS order.
+bool try_split(PassState& pass, int steal_depth, StealUnit& thief) {
+  const std::size_t base =
+      pass.floor + static_cast<std::size_t>(std::max(steal_depth, 0));
+  for (std::size_t d = base; d < pass.frames.size(); ++d) {
+    Frame probe = pass.frames[d];
+    probe.done.push_back(probe.chosen);
+    probe.chosen = kNoChoice;
+    const int next = select_choice(probe, pass);
+    if (next == kNoChoice) continue;
+    probe.chosen = next;
+    thief.frames.assign(pass.frames.begin(),
+                        pass.frames.begin() + static_cast<std::ptrdiff_t>(d));
+    thief.frames.push_back(std::move(probe));
+    thief.floor = pass.floor;
+    pass.floor = d + 1;
+    return true;
+  }
+  return false;
+}
+
+CheckpointUnit serialize_steal_unit(const StealUnit& unit) {
+  CheckpointUnit out;
+  out.complete = unit.status == StealUnit::Status::kComplete;
+  if (!out.complete) {
+    out.frames.reserve(unit.frames.size());
+    for (const Frame& frame : unit.frames) {
+      CheckpointFrame cf;
+      cf.chosen = frame.chosen;
+      cf.done = frame.done;
+      out.frames.push_back(std::move(cf));
+    }
+    out.floor = unit.floor;
+  }
+  const UnitResult& r = unit.result;
+  out.stats = r.stats;
+  out.audit = r.audit;
+  out.fault_points.assign(r.fault_points.begin(), r.fault_points.end());
+  for (std::size_t i = 0; i < r.violations.size(); ++i) {
+    CheckpointViolation v;
+    v.cex = r.violations[i];
+    const UnitCheckpoint& cp = r.checkpoints[i];
+    v.stats = cp.stats;
+    v.audit = cp.audit;
+    v.fault_points.assign(cp.fault_points.begin(), cp.fault_points.end());
+    v.budget_limited = cp.budget_limited;
+    v.fault_limited = cp.fault_limited;
+    out.violations.push_back(std::move(v));
+  }
+  out.budget_limited = r.budget_limited;
+  out.fault_limited = r.fault_limited;
+  out.cap_hit = r.cap_hit;
+  out.stopped = r.stopped;
+  return out;
+}
+
+/// Re-materializes a persisted unit: partial results restore directly; the
+/// frame stack replays its decisions on a fresh SimEnv, recomputing the
+/// runnable sets, pending operations, bitmasks and sleep sets the artifact
+/// deliberately does not store.  The replay doubles as an integrity check —
+/// an artifact whose decisions do not apply to the system is rejected here.
+StealUnit materialize_steal_unit(const ExplorableSystem& system,
+                                 const ExploreOptions& opts,
+                                 const PassState& base,
+                                 const CheckpointUnit& cu) {
+  StealUnit unit;
+  UnitResult& r = unit.result;
+  r.stats = cu.stats;
+  r.audit = cu.audit;
+  r.fault_points.insert(cu.fault_points.begin(), cu.fault_points.end());
+  for (const CheckpointViolation& v : cu.violations) {
+    r.violations.push_back(v.cex);
+    UnitCheckpoint cp;
+    cp.stats = v.stats;
+    cp.audit = v.audit;
+    cp.fault_points.insert(v.fault_points.begin(), v.fault_points.end());
+    cp.budget_limited = v.budget_limited;
+    cp.fault_limited = v.fault_limited;
+    r.checkpoints.push_back(std::move(cp));
+  }
+  r.budget_limited = cu.budget_limited;
+  r.fault_limited = cu.fault_limited;
+  r.cap_hit = cu.cap_hit;
+  r.stopped = cu.stopped;
+  if (cu.complete) {
+    unit.status = StealUnit::Status::kComplete;
+    return unit;
+  }
+  unit.floor = static_cast<std::size_t>(cu.floor);
+
+  PassState pass = base;
+  auto instance = system.make();
+  sim::SimOptions sim_options;
+  sim_options.step_limit = opts.max_depth;
+  sim_options.record_trace = false;
+  sim::SimEnv env(sim_options);
+  instance->populate(env);
+  expects(env.process_count() <= 64,
+          "the fault-aware explorer supports at most 64 processes");
+  env.start();
+  for (const CheckpointFrame& cf : cu.frames) {
+    std::vector<int> runnable = env.parked_processes();
+    expects(!runnable.empty(), "checkpoint frontier replays past quiescence");
+    const Frame* parent = pass.frames.empty() ? nullptr : &pass.frames.back();
+    Frame frame = make_frame(env, std::move(runnable), pass, parent);
+    // No account_frame here: the persisted partial stats already charged
+    // this frame when it was first materialized.
+    frame.done = cf.done;
+    expects(applicable(env, cf.chosen),
+            "checkpoint frontier decision is not applicable on replay");
+    frame.chosen = cf.chosen;
+    const Action action = decode_action(cf.chosen);
+    switch (action.kind) {
+      case ActionKind::kGrant:
+        env.step_process(action.pid);
+        break;
+      case ActionKind::kScFailure:
+        env.inject_sc_failure(action.pid);
+        env.step_process(action.pid);
+        break;
+      case ActionKind::kCrash:
+        env.kill_process(action.pid);
+        break;
+      case ActionKind::kRestart:
+        env.restart_process(action.pid);
+        break;
+    }
+    pass.frames.push_back(std::move(frame));
+  }
+  env.finish();
+  expects(unit.floor <= pass.frames.size(),
+          "checkpoint frontier floor exceeds its frame stack");
+  unit.frames = std::move(pass.frames);
+  return unit;
+}
+
+/// Checkpoint-writer state threaded through a campaign: `seq` numbering
+/// spans passes (and resumes), the pass-position fields are refreshed by
+/// explore() before each pass, and `merged`/`covered` point at the result
+/// accumulated by the between-pass merges (never mutated while a pass
+/// runs, so the writer may read them without coordination).
+struct CheckpointCtx {
+  std::uint64_t seq = 0;
+  std::uint64_t written = 0;   ///< all artifacts this explore() call wrote
+  std::uint64_t periodic = 0;  ///< periodic (non-final) artifacts only
+  std::uint64_t pass_ordinal = 0;
+  std::uint64_t fault_index = 0;
+  std::uint64_t preemption_index = 0;
+  bool cap_hit = false;
+  bool stopped = false;
+  bool last_pass_budget_limited = false;
+  /// MergeOutcome flags restored from a resumed pass's artifact, pre-seeded
+  /// into every snapshot fold of that pass.
+  bool restored_budget_limited = false;
+  bool restored_fault_limited = false;
+  const ExploreResult* merged = nullptr;
+  const std::set<FaultPoint>* covered = nullptr;
+};
+
+struct StealPassOutput {
+  std::vector<PassUnit> units;  ///< DFS order, every unit complete
+  bool halted = false;          ///< halt_after_checkpoints fired mid-pass
+};
+
+/// Runs one (budget pair) pass on the work-stealing engine.  The frontier
+/// is a DFS-ordered list of units; idle workers raise the attention flag
+/// and owners split their shallowest splittable frame off for them.  A
+/// frontier walk over the complete-unit prefix confirms deterministic stops
+/// exactly like the static engine's barrier.  With checkpointing on, the
+/// owner that observes a due checkpoint persists the folded prefix plus the
+/// outstanding frontier snapshots.  `seeds` (non-null on the resumed pass)
+/// re-materializes a persisted frontier instead of starting from the root.
+StealPassOutput run_steal_pass(const ExplorableSystem& system,
+                               const ExploreOptions& opts,
+                               const PassConfig& cfg, SharedBudget& budget,
+                               const std::vector<CheckpointUnit>* seeds,
+                               CheckpointCtx* ckpt) {
+  StealPassOutput output;
+  StealPool pool;
+  if (seeds != nullptr) {
+    for (const CheckpointUnit& cu : *seeds) {
+      pool.units.push_back(materialize_steal_unit(system, opts, cfg.base, cu));
+    }
+    if (pool.units.empty()) return output;
+  } else {
+    pool.units.emplace_back();  // the root unit: empty frames, floor 0
+  }
+  pool.frontier = pool.units.begin();
+  pool.frontier_violations = cfg.violations_so_far;
+  pool.last_checkpoint_at.store(
+      budget.schedules.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+
+  obs::ObsSink* sink = opts.telemetry;
+  const bool events = sink != nullptr && sink->events_enabled();
+  const bool spans = sink != nullptr && sink->timeline_enabled();
+  const std::size_t quota =
+      opts.max_violations > cfg.violations_so_far
+          ? opts.max_violations - cfg.violations_so_far
+          : 1;
+  const int steal_depth = std::max(opts.steal_depth, 0);
+
+  const auto refresh_attention = [&] {  // pool.mu held
+    pool.attention.store(
+        pool.idle > 0 ||
+            pool.checkpoint_due.load(std::memory_order_relaxed) ||
+            pool.stop_confirmed || pool.halt || pool.abort_all,
+        std::memory_order_release);
+  };
+
+  const auto walk_frontier = [&] {  // pool.mu held
+    if (pool.stop_confirmed) return;
+    while (pool.frontier != pool.units.end() &&
+           pool.frontier->status == StealUnit::Status::kComplete) {
+      const UnitResult& unit = pool.frontier->result;
+      bool stops = unit.cap_hit;
+      if (!unit.skipped) {
+        for (std::size_t i = 0; i < unit.violations.size() && !stops; ++i) {
+          ++pool.frontier_violations;
+          if (opts.stop_at_first_violation ||
+              pool.frontier_violations >= opts.max_violations) {
+            stops = true;
+          }
+        }
+      }
+      ++pool.frontier;
+      if (stops) {
+        // The merge provably ends at this unit: everything after it is
+        // discarded work.  Pending units are skipped outright; running
+        // owners are told to abandon theirs.
+        pool.stop_confirmed = true;
+        for (auto it = pool.frontier; it != pool.units.end(); ++it) {
+          if (it->status == StealUnit::Status::kPending) {
+            it->status = StealUnit::Status::kComplete;
+            it->result = UnitResult{};
+            it->result.skipped = true;
+            it->frames.clear();
+          } else if (it->status == StealUnit::Status::kRunning) {
+            it->abort = true;
+          }
+        }
+        refresh_attention();
+        pool.cv.notify_all();
+        break;
+      }
+    }
+  };
+
+  /// Persists the campaign state (pool.mu held).  The completed-unit prefix
+  /// is folded the way merge_pass will fold it — on copies, silently — so
+  /// the snapshot is exactly the merged result of a serial campaign that
+  /// got this far; the rest of the frontier is serialized as outstanding
+  /// work.
+  const auto write_checkpoint = [&](const ObsCtx& octx) {
+    Checkpoint cp;
+    cp.seq = ckpt->seq++;
+    cp.system = system.name();
+    cp.processes = system.process_count();
+    cp.options = CheckpointOptions::key_of(opts);
+    cp.pass_ordinal = ckpt->pass_ordinal;
+    cp.fault_index = ckpt->fault_index;
+    cp.preemption_index = ckpt->preemption_index;
+    cp.cap_hit = ckpt->cap_hit;
+    cp.stopped = ckpt->stopped;
+    cp.last_pass_budget_limited = ckpt->last_pass_budget_limited;
+    ExploreResult folded;
+    folded.stats = ckpt->merged->stats;
+    folded.audit = ckpt->merged->audit;
+    folded.violations = ckpt->merged->violations;
+    std::set<FaultPoint> covered = *ckpt->covered;
+    MergeOutcome fold;
+    fold.budget_limited = ckpt->restored_budget_limited;
+    fold.fault_limited = ckpt->restored_fault_limited;
+    bool prefix_stopped = false;
+    auto it = pool.units.begin();
+    while (it != pool.units.end() &&
+           it->status == StealUnit::Status::kComplete &&
+           !it->result.skipped) {
+      UnitResult copy = it->result;
+      const bool ends = merge_one(copy, opts, folded, covered, fold, nullptr);
+      ++it;
+      if (ends) {
+        prefix_stopped = true;
+        break;
+      }
+    }
+    cp.stopped |= fold.stopped;
+    cp.cap_hit |= fold.cap_hit;
+    cp.pass_budget_limited = fold.budget_limited;
+    cp.pass_fault_limited = fold.fault_limited;
+    folded.stats.fault_points = covered.size();
+    cp.stats = folded.stats;
+    cp.audit = folded.audit;
+    cp.violations = std::move(folded.violations);
+    for (const FaultPoint& point : covered) {
+      cp.fault_points.emplace_back(point.first, point.second);
+    }
+    if (!prefix_stopped) {
+      for (; it != pool.units.end(); ++it) {
+        cp.frontier.push_back(serialize_steal_unit(*it));
+      }
+    }
+    expects(write_checkpoint_file(opts.checkpoint_path, cp.to_artifact()),
+            "failed to write checkpoint artifact: " + opts.checkpoint_path);
+    ++ckpt->written;
+    ++ckpt->periodic;
+    pool.last_checkpoint_at.store(
+        budget.schedules.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    if (octx.shard != nullptr) ++octx.shard->counter("explore.checkpoints");
+    if (events) {
+      obs::Event event;
+      event.kind = "worker.checkpoint";
+      event.step = cp.seq;
+      event.worker = octx.worker;
+      event.fields.emplace_back("frontier", std::to_string(cp.frontier.size()));
+      event.fields.emplace_back("schedules",
+                                std::to_string(cp.stats.schedules));
+      sink->emit(std::move(event));
+    }
+  };
+
+  const auto worker = [&](int worker_index) {
+    try {
+      const ObsCtx octx = make_obs_ctx(sink, worker_index);
+      if (events) {
+        obs::Event event;
+        event.kind = "worker.start";
+        event.worker = worker_index;
+        sink->emit(std::move(event));
+      }
+      std::uint64_t claims = 0;
+      bool halted = false;
+      while (!halted) {
+        auto self = pool.units.end();
+        PassState pass = cfg.base;
+        UnitResult local;
+        {
+          std::unique_lock<std::mutex> lock(pool.mu);
+          for (;;) {
+            if (pool.abort_all || pool.halt) break;
+            for (auto it = pool.units.begin(); it != pool.units.end(); ++it) {
+              if (it->status == StealUnit::Status::kPending) {
+                self = it;
+                break;
+              }
+            }
+            if (self != pool.units.end() || pool.running == 0) break;
+            ++pool.idle;
+            refresh_attention();
+            pool.cv.wait(lock);
+            --pool.idle;
+            refresh_attention();
+          }
+          if (self == pool.units.end()) {
+            pool.cv.notify_all();  // drained/halted: release the others too
+            break;
+          }
+          self->status = StealUnit::Status::kRunning;
+          ++pool.running;
+          pass.frames = self->frames;
+          pass.floor = self->floor;
+          local = self->result;
+        }
+        if (events) {
+          obs::Event event;
+          event.kind = "worker.claim";
+          event.step = claims;
+          event.worker = worker_index;
+          event.fields.emplace_back("depth",
+                                    std::to_string(pass.frames.size()));
+          event.fields.emplace_back("floor", std::to_string(pass.floor));
+          sink->emit(std::move(event));
+        }
+        ++claims;
+        const std::uint64_t unit_begin = spans ? sink->now_ns() : 0;
+        bool aborted = false;
+        for (;;) {
+          if (pool.attention.load(std::memory_order_acquire)) {
+            std::lock_guard<std::mutex> lock(pool.mu);
+            if (pool.abort_all || pool.halt) {
+              halted = true;
+            } else if (self->abort) {
+              aborted = true;
+            } else {
+              std::size_t splits = 0;
+              while (splits < pool.idle) {
+                StealUnit thief;
+                if (!try_split(pass, steal_depth, thief)) break;
+                pool.units.insert(std::next(self), std::move(thief));
+                ++splits;
+                if (octx.shard != nullptr) {
+                  ++octx.shard->counter("explore.steals");
+                }
+                if (events) {
+                  obs::Event event;
+                  event.kind = "worker.steal";
+                  event.step = pass.floor;  // victim floor == split depth + 1
+                  event.worker = worker_index;
+                  sink->emit(std::move(event));
+                }
+                pool.cv.notify_one();
+              }
+              // Publish the snapshot other threads read: splits moved the
+              // floor, and the checkpoint writer serializes running units
+              // from exactly these fields.
+              self->frames = pass.frames;
+              self->floor = pass.floor;
+              self->result = local;
+              if (ckpt != nullptr &&
+                  pool.checkpoint_due.load(std::memory_order_relaxed)) {
+                write_checkpoint(octx);
+                pool.checkpoint_due.store(false, std::memory_order_relaxed);
+                if (opts.halt_after_checkpoints > 0 &&
+                    ckpt->periodic >= opts.halt_after_checkpoints) {
+                  // Deterministic SIGKILL stand-in for kill-and-resume
+                  // tests: stop dead right after the Nth periodic write,
+                  // leaving the artifact as the only durable output.
+                  pool.halt = true;
+                  halted = true;
+                  pool.cv.notify_all();
+                }
+              }
+              refresh_attention();
+            }
+          }
+          if (halted || aborted) break;
+          if (budget.exhausted()) {
+            local.cap_hit = true;
+            break;
+          }
+          RunOutcome outcome = run_one(system, opts, pass, local, 0, octx);
+          if (!outcome.pruned) {
+            const std::uint64_t claimed =
+                budget.schedules.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (ckpt != nullptr && opts.checkpoint_every > 0 &&
+                claimed - pool.last_checkpoint_at.load(
+                              std::memory_order_relaxed) >=
+                    opts.checkpoint_every &&
+                !pool.checkpoint_due.exchange(true,
+                                              std::memory_order_relaxed)) {
+              pool.attention.store(true, std::memory_order_release);
+            }
+          }
+          if (outcome.violation.has_value()) {
+            record_violation(
+                local, build_counterexample(system, opts, std::move(outcome),
+                                            local.stats, octx));
+            if (opts.stop_at_first_violation ||
+                local.violations.size() >= quota) {
+              local.stopped = true;
+              break;
+            }
+          }
+          if (!advance(pass)) break;
+        }
+        if (halted) break;  // unit stays kRunning; the halt abandons the pass
+        {
+          std::lock_guard<std::mutex> lock(pool.mu);
+          --pool.running;
+          aborted = aborted || self->abort;
+          self->frames.clear();
+          self->floor = 0;
+          if (aborted) {
+            self->result = UnitResult{};
+            self->result.skipped = true;
+          } else {
+            self->result = std::move(local);
+          }
+          self->status = StealUnit::Status::kComplete;
+          walk_frontier();
+          pool.cv.notify_all();
+        }
+        if (spans) {
+          obs::Span span;
+          span.name = "unit";
+          span.track = worker_index;
+          span.begin_ns = unit_begin;
+          span.end_ns = sink->now_ns();
+          span.args.emplace_back(
+              "schedules", std::to_string(self->result.stats.schedules));
+          sink->record_span(std::move(span));
+        }
+      }
+      if (events) {
+        obs::Event event;
+        event.kind = "worker.finish";
+        event.step = claims;
+        event.worker = worker_index;
+        sink->emit(std::move(event));
+      }
+    } catch (...) {
+      // Any lock held when the exception was raised has already been
+      // released by the unwind, so re-locking here is safe.
+      std::lock_guard<std::mutex> lock(pool.mu);
+      if (!pool.error) pool.error = std::current_exception();
+      pool.abort_all = true;
+      pool.attention.store(true, std::memory_order_release);
+      pool.cv.notify_all();
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(pool.mu);
+    walk_frontier();  // a restored frontier may already confirm a stop
+  }
+  const int nworkers = std::max(cfg.jobs, 1);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nworkers - 1));
+  for (int i = 1; i < nworkers; ++i) {
+    threads.emplace_back(worker, i);
+  }
+  worker(0);  // the calling thread is worker 0
+  for (auto& t : threads) t.join();
+  if (pool.error) std::rethrow_exception(pool.error);
+  if (pool.halt) {
+    output.halted = true;
+    return output;
+  }
+  for (auto& unit : pool.units) {
+    expects(unit.status == StealUnit::Status::kComplete,
+            "stealing pass ended with an incomplete unit");
+    PassUnit pu;
+    pu.result = std::move(unit.result);
+    output.units.push_back(std::move(pu));
+  }
+  return output;
 }
 
 /// jobs == 0 resolves through BSS_EXPLORE_JOBS (how CI forces the worker
@@ -1239,10 +1818,14 @@ ExploreResult explore(const ExplorableSystem& system,
                       const ExploreOptions& requested) {
   ExploreOptions options = requested;
   options.audit = resolve_audit(requested);
+  expects(options.steal ||
+              (options.checkpoint_path.empty() && options.resume_path.empty()),
+          "checkpoint/resume requires the work-stealing engine (steal=true)");
   ExploreResult result;
   result.audit.enabled = options.audit;
   const int jobs = resolve_jobs(options);
-  const std::size_t shard_at = resolve_shard_depth(options, system, jobs);
+  const std::size_t shard_at =
+      options.steal ? 0 : resolve_shard_depth(options, system, jobs);
 
   obs::ObsSink* sink = options.telemetry;
   const bool events = sink != nullptr && sink->events_enabled();
@@ -1252,8 +1835,11 @@ ExploreResult explore(const ExplorableSystem& system,
     obs::Event event;
     event.kind = "explore.start";
     event.fields.emplace_back("system", system.name());
+    event.fields.emplace_back("engine", options.steal ? "steal" : "static");
     event.fields.emplace_back("jobs", std::to_string(jobs));
     event.fields.emplace_back("shard_depth", std::to_string(shard_at));
+    event.fields.emplace_back("steal_depth",
+                              std::to_string(options.steal_depth));
     sink->emit(std::move(event));
   }
   if (sink != nullptr) {
@@ -1297,9 +1883,81 @@ ExploreResult explore(const ExplorableSystem& system,
   bool stopped = false;
   bool last_pass_budget_limited = false;
   std::uint64_t pass_ordinal = 0;
-  for (const int fault_budget : fault_budgets) {
+
+  // Resume: restore the merged snapshot, the campaign position and the
+  // schedule valve from the artifact.  Everything result-affecting is
+  // cross-checked — a checkpoint from a different system, process count or
+  // option fingerprint is rejected, as is an out-of-range pass position.
+  std::optional<Checkpoint> resume;
+  std::size_t start_fault = 0;
+  std::size_t start_preempt = 0;
+  bool skip_passes = false;
+  if (!options.resume_path.empty()) {
+    std::ifstream in(options.resume_path, std::ios::binary);
+    expects(static_cast<bool>(in),
+            "resume: cannot read checkpoint: " + options.resume_path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    resume = Checkpoint::from_artifact(buf.str(), &error);
+    expects(resume.has_value(), "resume: invalid checkpoint: " + error);
+    expects(resume->system == system.name() &&
+                resume->processes == system.process_count(),
+            "resume: checkpoint was taken on a different system");
+    expects(resume->options == CheckpointOptions::key_of(options),
+            "resume: result-affecting exploration options differ from the "
+            "checkpointed campaign");
+    skip_passes = resume->complete || resume->stopped || resume->cap_hit;
+    expects(skip_passes ||
+                (resume->fault_index < fault_budgets.size() &&
+                 resume->preemption_index < preemption_budgets.size()),
+            "resume: checkpoint pass position is out of range");
+    result.stats = resume->stats;
+    result.audit = resume->audit;
+    result.audit.enabled = options.audit;
+    result.violations = resume->violations;
+    for (const auto& point : resume->fault_points) {
+      fault_points.emplace(point.first, point.second);
+    }
+    cap_hit = resume->cap_hit;
+    stopped = resume->stopped;
+    last_pass_budget_limited = resume->last_pass_budget_limited;
+    // The in-progress pass resumes under its own ordinal; a pass that
+    // already concluded (stop/cap confirmed in the folded prefix) counts as
+    // finished.  A complete artifact stores the final total verbatim.
+    pass_ordinal =
+        resume->pass_ordinal + ((skip_passes && !resume->complete) ? 1 : 0);
+    start_fault = static_cast<std::size_t>(resume->fault_index);
+    start_preempt = static_cast<std::size_t>(resume->preemption_index);
+    // The valve restores to schedules-merged + schedules-in-frontier: work
+    // past the published snapshots re-runs and re-counts on resume, exactly
+    // once each, so the valve stays consistent with the re-exploration.
+    std::uint64_t consumed = result.stats.schedules;
+    for (const CheckpointUnit& cu : resume->frontier) {
+      consumed += cu.stats.schedules;
+    }
+    budget_valve.schedules.store(consumed, std::memory_order_relaxed);
+  }
+
+  CheckpointCtx ckpt_state;
+  CheckpointCtx* const ckpt =
+      options.checkpoint_path.empty() ? nullptr : &ckpt_state;
+  if (ckpt != nullptr) {
+    ckpt->seq = resume.has_value() ? resume->seq + 1 : 0;
+    ckpt->merged = &result;
+    ckpt->covered = &fault_points;
+  }
+
+  bool halted = false;
+  for (std::size_t fi = start_fault;
+       !skip_passes && !halted && fi < fault_budgets.size(); ++fi) {
+    const int fault_budget = fault_budgets[fi];
     bool fault_limited_at_this_budget = false;
-    for (const int budget : preemption_budgets) {
+    for (std::size_t pi = fi == start_fault ? start_preempt : 0;
+         pi < preemption_budgets.size(); ++pi) {
+      const int budget = preemption_budgets[pi];
+      const bool resumed_pass =
+          resume.has_value() && fi == start_fault && pi == start_preempt;
       if (events) {
         obs::Event event;
         event.kind = "pass.start";
@@ -1309,6 +1967,7 @@ ExploreResult explore(const ExplorableSystem& system,
         event.fields.emplace_back("preemption_budget", std::to_string(budget));
         sink->emit(std::move(event));
       }
+      const std::uint64_t this_pass = pass_ordinal;
       ++pass_ordinal;
       PassConfig cfg;
       cfg.base.budget = budget;
@@ -1320,11 +1979,39 @@ ExploreResult explore(const ExplorableSystem& system,
       cfg.shard_at = shard_at;
       cfg.jobs = jobs;
       cfg.violations_so_far = result.violations.size();
-      std::vector<PassUnit> units =
-          run_pass(system, options, cfg, budget_valve);
+      if (ckpt != nullptr) {
+        ckpt->pass_ordinal = this_pass;
+        ckpt->fault_index = fi;
+        ckpt->preemption_index = pi;
+        ckpt->cap_hit = cap_hit;
+        ckpt->stopped = stopped;
+        ckpt->last_pass_budget_limited = last_pass_budget_limited;
+        ckpt->restored_budget_limited =
+            resumed_pass && resume->pass_budget_limited;
+        ckpt->restored_fault_limited =
+            resumed_pass && resume->pass_fault_limited;
+      }
+      std::vector<PassUnit> units;
+      if (options.steal) {
+        StealPassOutput out = run_steal_pass(
+            system, options, cfg, budget_valve,
+            resumed_pass ? &resume->frontier : nullptr, ckpt);
+        if (out.halted) {
+          halted = true;
+          break;
+        }
+        units = std::move(out.units);
+      } else {
+        units = run_pass(system, options, cfg, budget_valve);
+      }
       const std::uint64_t merge_begin = spans ? sink->now_ns() : 0;
-      const MergeOutcome merged =
-          merge_pass(units, options, result, fault_points);
+      MergeOutcome merged = merge_pass(units, options, result, fault_points);
+      if (resumed_pass) {
+        // The folded prefix of the resumed pass contributed these flags
+        // before the kill; the frontier units cannot re-derive them.
+        merged.budget_limited |= resume->pass_budget_limited;
+        merged.fault_limited |= resume->pass_fault_limited;
+      }
       if (spans) {
         obs::Span span;
         span.name = "merge";
@@ -1341,15 +2028,51 @@ ExploreResult explore(const ExplorableSystem& system,
       if (cap_hit || stopped) break;
       if (!merged.budget_limited) break;  // space covered at this budget
     }
-    if (cap_hit || stopped) break;
+    if (halted || cap_hit || stopped) break;
     // A fault budget that cut nothing covered the whole bounded-fault
     // space; deeper fault budgets would only re-explore it.
     if (!fault_limited_at_this_budget) break;
   }
 
+  if (halted) {
+    // halt_after_checkpoints fired: the checkpoint artifact is the durable
+    // output; the in-memory partials are deliberately NOT finalized (no
+    // merge ran) and no explore.done/runreport is emitted — this return is
+    // the deterministic stand-in for a SIGKILL.
+    result.halted = true;
+    result.checkpoints_written = ckpt != nullptr ? ckpt->written : 0;
+    return result;
+  }
+
   result.stats.fault_points = fault_points.size();
   result.exhausted = !cap_hit && !stopped && !last_pass_budget_limited &&
                      result.stats.truncated == 0;
+
+  if (ckpt != nullptr) {
+    // The final, `complete` checkpoint: the whole merged result, an empty
+    // frontier.  Resuming from it just re-emits the same result.
+    Checkpoint cp;
+    cp.seq = ckpt->seq++;
+    cp.system = system.name();
+    cp.processes = system.process_count();
+    cp.options = CheckpointOptions::key_of(options);
+    cp.complete = true;
+    cp.exhausted = result.exhausted;
+    cp.pass_ordinal = pass_ordinal;
+    cp.cap_hit = cap_hit;
+    cp.stopped = stopped;
+    cp.last_pass_budget_limited = last_pass_budget_limited;
+    cp.stats = result.stats;
+    cp.audit = result.audit;
+    cp.violations = result.violations;
+    for (const FaultPoint& point : fault_points) {
+      cp.fault_points.emplace_back(point.first, point.second);
+    }
+    expects(write_checkpoint_file(options.checkpoint_path, cp.to_artifact()),
+            "failed to write checkpoint artifact: " + options.checkpoint_path);
+    ++ckpt->written;
+    result.checkpoints_written = ckpt->written;
+  }
 
   if (sink != nullptr) {
     if (events) {
@@ -1364,6 +2087,7 @@ ExploreResult explore(const ExplorableSystem& system,
     }
     obs::ReportBuilder report("explore", "explore()");
     report.set_system(system.name());
+    report.environment("engine", options.steal ? "steal" : "static");
     report.environment("jobs", jobs);
     report.environment("shard_depth",
                        static_cast<std::uint64_t>(shard_at));
@@ -1501,6 +2225,53 @@ std::string ExploreResult::summary() const {
 
 // ----------------------------------------------------------------- artifact
 
+std::string action_token(int decision) {
+  const Action action = decode_action(decision);
+  switch (action.kind) {
+    case ActionKind::kGrant:
+      return std::to_string(action.pid);
+    case ActionKind::kCrash:
+      return "c" + std::to_string(action.pid);
+    case ActionKind::kRestart:
+      return "r" + std::to_string(action.pid);
+    case ActionKind::kScFailure:
+      return "s" + std::to_string(action.pid);
+  }
+  return std::to_string(decision);
+}
+
+std::optional<int> parse_action_token(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  ActionKind kind = ActionKind::kGrant;
+  std::size_t offset = 0;
+  switch (token.front()) {
+    case 'c':
+      kind = ActionKind::kCrash;
+      offset = 1;
+      break;
+    case 'r':
+      kind = ActionKind::kRestart;
+      offset = 1;
+      break;
+    case 's':
+      kind = ActionKind::kScFailure;
+      offset = 1;
+      break;
+    default:
+      break;
+  }
+  int pid = 0;
+  try {
+    std::size_t used = 0;
+    pid = std::stoi(token.substr(offset), &used);
+    if (used != token.size() - offset) return std::nullopt;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (pid < 0 || pid > kMaxActionPid) return std::nullopt;
+  return encode_action(kind, pid);
+}
+
 std::string Counterexample::to_artifact() const {
   std::ostringstream out;
   std::string flat = violation;
@@ -1564,34 +2335,9 @@ std::optional<Counterexample> Counterexample::from_artifact(
       std::istringstream tokens(value);
       std::string token;
       while (tokens >> token) {
-        ActionKind kind = ActionKind::kGrant;
-        std::size_t offset = 0;
-        switch (token.front()) {
-          case 'c':
-            kind = ActionKind::kCrash;
-            offset = 1;
-            break;
-          case 'r':
-            kind = ActionKind::kRestart;
-            offset = 1;
-            break;
-          case 's':
-            kind = ActionKind::kScFailure;
-            offset = 1;
-            break;
-          default:
-            break;
-        }
-        int pid = 0;
-        try {
-          std::size_t used = 0;
-          pid = std::stoi(token.substr(offset), &used);
-          if (used != token.size() - offset) return std::nullopt;
-        } catch (const std::exception&) {
-          return std::nullopt;
-        }
-        if (pid < 0 || pid > kMaxActionPid) return std::nullopt;
-        cex.decisions.push_back(encode_action(kind, pid));
+        const std::optional<int> decision = parse_action_token(token);
+        if (!decision.has_value()) return std::nullopt;
+        cex.decisions.push_back(*decision);
       }
       saw_decisions = true;
     } else {

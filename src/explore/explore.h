@@ -44,20 +44,36 @@
 // tokens.  Both versions parse.
 //
 // Parallel exploration (`ExploreOptions::jobs`): every run is a pure
-// function of the decision tape, so the schedule space shards cleanly.  A
-// serial enumerator walks the DFS down to `shard_depth` decisions, emitting
-// each depth-`shard_depth` subtree as an independent job (a snapshot of the
-// frame stack, so sleep sets, explored-sibling sets and budget counters
-// carry across the cut exactly); a worker pool explores the subtrees on
-// private SimEnvs, and the results are merged in DFS order with a
-// deterministic cutoff rule.  The merged ExploreResult is **byte-identical
-// to the serial explorer's** for every worker count and completion order —
-// including early-stopped runs, where work a worker did beyond the
-// deterministic stop point is discarded rather than folded in.  The one
-// exception is the `max_schedules` safety valve: with jobs > 1 the shared
-// schedule budget is claimed concurrently, so *which* schedules fit under a
-// cap that actually fires depends on timing (the run is flagged not
-// exhausted either way).
+// function of the decision tape, so the schedule space shards cleanly.  The
+// default engine is a *work-stealing frontier*: each pass starts as one unit
+// (the whole space) owned by one worker, and whenever a worker goes idle a
+// busy victim splits its own replayable frame stack at the shallowest frame
+// that still has unexplored siblings — those siblings become a new unit,
+// inserted immediately after the victim's in a DFS-ordered unit list, and
+// the victim's backtrack floor rises past the cut.  Sleep sets,
+// explored-sibling sets and budget counters carry across the cut in the
+// frames, so the thief explores exactly the branches the serial walk would
+// have explored after backtracking there.  Because units always partition
+// the DFS into contiguous ordered segments, the results merge in DFS order
+// with a deterministic cutoff rule, making the merged ExploreResult
+// **byte-identical to the serial explorer's** for every worker count, steal
+// granularity and completion order — including early-stopped runs, where
+// work a worker did beyond the deterministic stop point is discarded rather
+// than folded in.  The one exception is the `max_schedules` safety valve:
+// with jobs > 1 the shared schedule budget is claimed concurrently, so
+// *which* schedules fit under a cap that actually fires depends on timing
+// (the run is flagged not exhausted either way).  `steal = false` selects
+// the legacy static engine (a serial enumerator cuts the DFS at
+// `shard_depth` decisions into fixed subtree jobs) — kept as the
+// bench_explore baseline; its results are byte-identical too.
+//
+// Durable exploration state (`checkpoint_path` / `resume_path`): the
+// stealing engine periodically persists a `bss-checkpoint v1` artifact
+// (src/explore/checkpoint.h) — the merged DFS-prefix result plus every
+// outstanding unit's replayable frame stack — so a campaign killed
+// mid-exploration resumes from the artifact and ends byte-identical to an
+// uninterrupted run (work past the last consistent snapshot is simply
+// re-explored; determinism makes the re-exploration exact).
 #pragma once
 
 #include <cstdint>
@@ -120,6 +136,18 @@ constexpr Action decode_action(int decision) {
 
 constexpr bool is_fault_action(int decision) { return decision < 0; }
 
+/// The `bss-counterexample v2` decision-token spelling of an encoded action:
+/// plain grants print as the pid ("3"), faults as "c1" (crash), "r0"
+/// (restart) and "s2" (spurious SC failure).  Shared by the counterexample
+/// artifact, event fields and the `bss-checkpoint v1` frontier encoding.
+std::string action_token(int decision);
+
+/// Parses one decision token back to its dense encoding; nullopt on
+/// malformed tokens or pids outside [0, kMaxActionPid] (the same guard the
+/// counterexample artifact parser applies — out-of-range pids must never
+/// silently wrap into another action's encoding).
+std::optional<int> parse_action_token(const std::string& token);
+
 struct ExploreOptions {
   /// Kill any single schedule after this many steps (counted, not checked).
   std::uint64_t max_depth = 4096;
@@ -174,11 +202,46 @@ struct ExploreOptions {
   /// Results are byte-identical across all values; see the header comment.
   int jobs = 0;
   /// Decision depth at which the DFS is cut into independent subtree jobs.
-  /// -1 picks automatically (no sharding when jobs resolves to 1, else a
-  /// depth sized to yield several jobs per worker); 0 disables sharding
-  /// outright.  Any value produces identical results — the knob trades
-  /// enumeration overhead against load balance.
+  /// Only the legacy static engine (`steal = false`) reads it: -1 picks
+  /// automatically (no sharding when jobs resolves to 1, else a depth sized
+  /// to yield several jobs per worker); 0 disables sharding outright.  Any
+  /// value produces identical results — the knob trades enumeration
+  /// overhead against load balance.
   int shard_depth = -1;
+  /// Work-stealing frontier engine (the default): idle workers steal the
+  /// shallowest unexplored siblings from busy victims, so skewed subtrees
+  /// load-balance without a pre-chosen shard depth.  false selects the
+  /// legacy static `shard_depth` engine (the bench_explore scaling
+  /// baseline).  Results are byte-identical either way.
+  bool steal = true;
+  /// Steal granularity: a victim only splits at frames at least this many
+  /// decisions below its current subtree floor, so larger values hand out
+  /// smaller (deeper) subtrees.  Any value produces identical results — the
+  /// knob trades steal frequency against per-steal work size.
+  int steal_depth = 0;
+  /// When non-empty, the stealing engine periodically writes a
+  /// `bss-checkpoint v1` artifact here (atomically: tmp file + rename): the
+  /// merged DFS-prefix result plus every outstanding unit's replayable
+  /// frame stack.  A final `complete` checkpoint is written when
+  /// exploration ends.  Requires `steal` (the static engine has no
+  /// consistent frontier to persist).
+  std::string checkpoint_path;
+  /// Checkpoint cadence: a snapshot is written every time this many more
+  /// schedules have been claimed since the last one.  0 disables periodic
+  /// checkpoints (only the final `complete` artifact is written).
+  std::uint64_t checkpoint_every = 4096;
+  /// When non-empty, exploration resumes from the `bss-checkpoint v1`
+  /// artifact at this path instead of starting fresh: the merged-prefix
+  /// result is restored and only the persisted frontier is explored.
+  /// Throws InvariantError when the artifact is malformed, carries a
+  /// different system/options fingerprint, or does not replay against this
+  /// system.  The end state is byte-identical to an uninterrupted run.
+  std::string resume_path;
+  /// Testing/ops valve for kill-and-resume coverage: stop the engine
+  /// (ExploreResult::halted) right after writing this many periodic
+  /// checkpoints, leaving the checkpoint artifact as the only durable
+  /// output — a deterministic stand-in for SIGKILL.  0 never halts.
+  std::uint64_t halt_after_checkpoints = 0;
   /// Soundness audit (src/audit): attach an access-ledger auditor to every
   /// run — flagging unsynchronized register access, wrong-process access and
   /// declared-footprint violations — and differentially cross-check the POR
@@ -290,6 +353,14 @@ struct ExploreResult {
   /// fault space (at most fault_bound injections) is the declared search
   /// domain, and within it coverage is complete.
   bool exhausted = false;
+  /// True iff the run stopped early at the halt_after_checkpoints valve; the
+  /// partial stats/violations are then meaningless — the checkpoint artifact
+  /// is the durable output and a resume completes the campaign.
+  bool halted = false;
+  /// `bss-checkpoint v1` artifacts written by THIS call (periodic + final).
+  /// Deliberately outside summary(): checkpointing must not perturb the
+  /// byte-identical result contract.
+  std::uint64_t checkpoints_written = 0;
 
   bool ok() const { return violations.empty(); }
   std::string summary() const;

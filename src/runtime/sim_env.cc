@@ -315,6 +315,14 @@ std::uint64_t SimEnv::steps_of(int pid) const {
   return procs_[static_cast<std::size_t>(pid)].ctx->steps_taken();
 }
 
+std::vector<int> SimEnv::parked_processes() const {
+  std::vector<int> parked;
+  for (int pid = 0; pid < process_count(); ++pid) {
+    if (is_parked(pid)) parked.push_back(pid);
+  }
+  return parked;
+}
+
 RunReport SimEnv::snapshot_report() const {
   const int n = process_count();
   RunReport report;

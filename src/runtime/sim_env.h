@@ -212,6 +212,10 @@ class SimEnv {
   void inject_sc_failure(int pid);
   /// Lifetime shared-operation count of `pid` (the fault-point coordinate).
   std::uint64_t steps_of(int pid) const;
+  /// The ascending pids currently parked at a pending operation — the
+  /// explorer's runnable set (and the frame-replay validation set when a
+  /// checkpointed frontier is re-materialized on a fresh SimEnv).
+  std::vector<int> parked_processes() const;
   void finish();
 
   /// Builds a RunReport from the current process states.  Meaningful once

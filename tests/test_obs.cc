@@ -345,6 +345,41 @@ TEST(ObsPassivity, FreshClaimFaultRefutation) {
   expect_telemetry_passive(system, options);
 }
 
+// -------------------------------------- passivity under work-stealing
+
+/// The stealing engine's extra instrumentation (worker.steal and
+/// worker.checkpoint events, the explore.steals / explore.checkpoints
+/// counters) must be as passive as the rest of the sink: at jobs = 4 the
+/// results stay byte-identical to the uninstrumented serial run across
+/// steal granularities, and with the legacy static engine too.
+TEST(ObsPassivity, WorkStealingEngineAtFourJobs) {
+  OneShotSystem system(4, 3, OneShotMutant::kClaimAfterCas);
+  ExploreOptions serial;
+  serial.jobs = 1;
+  const ExploreResult reference = explore::explore(system, serial);
+  for (const int depth : {0, 2}) {
+    Telemetry::Options sink_options;
+    sink_options.metrics = true;
+    sink_options.events = true;
+    sink_options.timeline = true;
+    Telemetry telemetry(sink_options);
+    ExploreOptions options;
+    options.jobs = 4;
+    options.steal_depth = depth;
+    options.telemetry = &telemetry;
+    expect_identical(reference, explore::explore(system, options),
+                     "stealing steal_depth=" + std::to_string(depth));
+  }
+  Telemetry telemetry;
+  ExploreOptions options;
+  options.steal = false;
+  options.jobs = 4;
+  options.shard_depth = 2;
+  options.telemetry = &telemetry;
+  expect_identical(reference, explore::explore(system, options),
+                   "static engine");
+}
+
 // ------------------------------------------------- event stream contents
 
 /// The deterministic channel of the merge-time and coordinator events:

@@ -1,20 +1,35 @@
-// report_check — the CI gate for `bss-runreport v1` artifacts.
+// report_check — the CI gate for `bss-runreport v1` and `bss-checkpoint v1`
+// artifacts.
 //
-// Validates every file named on the command line against the runreport
-// schema: parse failure, a missing or unknown schema version, unknown
-// top-level keys (schema drift must bump the version, not fork the format)
-// and wrong-typed known keys are each reported with the file name, and any
-// finding fails the whole invocation.  Prints one OK line per clean file so
-// the CI log shows what was actually checked.
+// Validates every file named on the command line, dispatching on the
+// document's own schema string: runreports go through the runreport
+// validator, checkpoints through the checkpoint validator (full structural
+// validation — frontier frames, pid token ranges, embedded counterexamples).
+// Parse failure, a missing or unknown schema version, unknown top-level keys
+// (schema drift must bump the version, not fork the format) and wrong-typed
+// known keys are each reported with the file name, and any finding fails the
+// whole invocation.  Prints one OK line per clean file so the CI log shows
+// what was actually checked.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "explore/checkpoint.h"
+#include "obs/json.h"
 #include "obs/runreport.h"
 
 namespace {
+
+/// The document's own schema string ("" when unreadable — the per-schema
+/// validator will produce the real diagnostic).
+std::string sniff_schema(const std::string& text) {
+  const auto value = bss::obs::json::Value::parse(text);
+  if (!value.has_value() || !value->is_object()) return "";
+  const bss::obs::json::Value* schema = value->find("schema");
+  return schema != nullptr && schema->is_string() ? schema->as_string() : "";
+}
 
 bool check_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -24,13 +39,32 @@ bool check_file(const std::string& path) {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  const std::vector<std::string> errors =
-      bss::obs::validate_runreport(buffer.str());
+  const std::string text = buffer.str();
+
+  if (sniff_schema(text) == bss::explore::kCheckpointSchema) {
+    const std::vector<std::string> errors =
+        bss::explore::validate_checkpoint(text);
+    for (const std::string& error : errors) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    }
+    if (!errors.empty()) return false;
+    const auto checkpoint = bss::explore::Checkpoint::from_artifact(text);
+    std::printf("%s: OK (%s for %s, seq %llu, %s, %zu frontier units)\n",
+                path.c_str(),
+                std::string(bss::explore::kCheckpointSchema).c_str(),
+                checkpoint->system.c_str(),
+                static_cast<unsigned long long>(checkpoint->seq),
+                checkpoint->complete ? "complete" : "in progress",
+                checkpoint->frontier.size());
+    return true;
+  }
+
+  const std::vector<std::string> errors = bss::obs::validate_runreport(text);
   for (const std::string& error : errors) {
     std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
   }
   if (!errors.empty()) return false;
-  const auto report = bss::obs::RunReport::parse(buffer.str());
+  const auto report = bss::obs::RunReport::parse(text);
   std::printf("%s: OK (%s from %s, %zu rows)\n", path.c_str(),
               report->kind().c_str(), report->producer().c_str(),
               report->rows() ? report->rows()->size() : 0);
@@ -43,8 +77,9 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s REPORT.json [REPORT.json ...]\n"
-                 "validates bss-runreport v1 artifacts; any schema error "
-                 "fails the run\n",
+                 "validates bss-runreport v1 and bss-checkpoint v1 "
+                 "artifacts (dispatching on the schema string); any schema "
+                 "error fails the run\n",
                  argv[0]);
     return 2;
   }
