@@ -427,6 +427,9 @@ void note_valve_exception(bss::bench::BenchReport& report) {
 
 // ------------------------------------------------------------- campaigns
 
+/// The valid --campaign names; parse_flags enumerates these on a typo.
+const std::vector<std::string> kCampaigns = {"skewed", "mutant"};
+
 /// `--campaign NAME`: one long exploration instead of the tables, wired to
 /// the checkpoint/resume flags — the workload CI SIGKILLs mid-run and
 /// resumes.  "skewed" is a clean six-figure-schedule sweep; "mutant" is a
@@ -453,9 +456,11 @@ int run_campaign(const bss::bench::BenchFlags& flags) {
     options.minimize = false;
     row = timed_explore("campaign:mutant", system, options);
   } else {
+    // Unreachable: parse_flags validated the name against kCampaigns.
     std::fprintf(stderr,
-                 "bench_explore: unknown campaign '%s' (skewed, mutant)\n",
-                 flags.campaign.c_str());
+                 "bench_explore: unknown campaign '%s' (valid: %s)\n",
+                 flags.campaign.c_str(),
+                 bss::bench::campaign_list(kCampaigns).c_str());
     return 2;
   }
 
@@ -500,7 +505,7 @@ int run_campaign(const bss::bench::BenchFlags& flags) {
 int main(int argc, char** argv) {
   const bss::bench::BenchFlags flags = bss::bench::parse_flags(
       argc, argv, /*accepts_jobs=*/true, /*accepts_json=*/true,
-      /*accepts_checkpoint=*/true);
+      /*accepts_checkpoint=*/true, kCampaigns);
   if (!flags.campaign.empty()) return run_campaign(flags);
   std::vector<Row> rows;
 

@@ -9,8 +9,20 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 namespace bss::bench {
+
+/// Renders a bench's valid campaign names ("skewed, mutant") for usage and
+/// error messages, so a typo'd --campaign lists what WOULD have worked.
+inline std::string campaign_list(const std::vector<std::string>& campaigns) {
+  std::string out;
+  for (const std::string& name : campaigns) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
 
 struct BenchFlags {
   bool json = false;  ///< machine-readable output instead of the table
@@ -28,7 +40,8 @@ struct BenchFlags {
 
 inline void print_usage(const char* program, bool accepts_jobs,
                         bool accepts_json = true,
-                        bool accepts_checkpoint = false) {
+                        bool accepts_checkpoint = false,
+                        const std::vector<std::string>& campaigns = {}) {
   std::fprintf(stderr, "usage: %s%s%s [--out PATH]%s\n", program,
                accepts_json ? " [--json]" : "",
                accepts_jobs ? " [--jobs N]" : "",
@@ -49,14 +62,16 @@ inline void print_usage(const char* program, bool accepts_jobs,
                "(stdout output is unchanged)\n");
   if (accepts_checkpoint) {
     std::fprintf(stderr,
-                 "  --campaign NAME      run one named campaign (skewed, "
-                 "mutant) instead of the tables\n"
+                 "  --campaign NAME      run one named campaign (%s) "
+                 "instead of the tables\n"
                  "  --checkpoint PATH    write bss-checkpoint v1 artifacts "
                  "to PATH during the campaign\n"
                  "  --checkpoint-every N checkpoint cadence in schedules "
                  "(default: explorer default)\n"
                  "  --resume PATH        resume the campaign from a "
-                 "bss-checkpoint v1 artifact\n");
+                 "bss-checkpoint v1 artifact\n",
+                 campaigns.empty() ? "none defined"
+                                   : campaign_list(campaigns).c_str());
   }
 }
 
@@ -65,13 +80,19 @@ inline void print_usage(const char* program, bool accepts_jobs,
 /// Exits with status 2 (after printing usage) on unknown arguments, missing
 /// or malformed values; exits 0 on --help.  Benches whose stdout has no
 /// machine-readable twin pass accepts_json=false and --json is rejected
-/// like any other unknown flag.
+/// like any other unknown flag.  `campaigns` is the bench's set of valid
+/// --campaign names: a value outside it is rejected HERE, with the valid
+/// names enumerated, instead of falling through to the bench's campaign
+/// dispatch (where a typo used to die without saying what would have
+/// worked).
 inline BenchFlags parse_flags(int argc, char** argv, bool accepts_jobs,
                               bool accepts_json = true,
-                              bool accepts_checkpoint = false) {
+                              bool accepts_checkpoint = false,
+                              const std::vector<std::string>& campaigns = {}) {
   BenchFlags flags;
   const auto fail = [&]() {
-    print_usage(argv[0], accepts_jobs, accepts_json, accepts_checkpoint);
+    print_usage(argv[0], accepts_jobs, accepts_json, accepts_checkpoint,
+                campaigns);
     std::exit(2);
   };
   const auto parse_jobs = [&](const char* value) {
@@ -107,7 +128,8 @@ inline BenchFlags parse_flags(int argc, char** argv, bool accepts_jobs,
     if (accepts_json && arg == "--json") {
       flags.json = true;
     } else if (arg == "--help" || arg == "-h") {
-      print_usage(argv[0], accepts_jobs, accepts_json, accepts_checkpoint);
+      print_usage(argv[0], accepts_jobs, accepts_json, accepts_checkpoint,
+                  campaigns);
       std::exit(0);
     } else if (accepts_jobs && (value = value_of(arg, "--jobs", &i))) {
       parse_jobs(value);
@@ -136,6 +158,17 @@ inline BenchFlags parse_flags(int argc, char** argv, bool accepts_jobs,
     std::fprintf(stderr,
                  "%s: --checkpoint/--resume require --campaign\n", argv[0]);
     fail();
+  }
+  if (!flags.campaign.empty()) {
+    bool known = false;
+    for (const std::string& name : campaigns) known |= name == flags.campaign;
+    if (!known) {
+      std::fprintf(stderr, "%s: unknown campaign '%s' (valid: %s)\n", argv[0],
+                   flags.campaign.c_str(),
+                   campaigns.empty() ? "none defined"
+                                     : campaign_list(campaigns).c_str());
+      fail();
+    }
   }
   return flags;
 }

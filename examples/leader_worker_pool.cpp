@@ -1,91 +1,205 @@
-// Leader-coordinated worker pool on bounded synchronization.
+// leader_worker_pool — the lease-based election service under crash storms.
 //
-// The scenario the paper's introduction motivates: multiprocessors expose
-// strong-but-small synchronization primitives (compare&swap words).  Here a
-// pool of workers processes tasks in epochs; at each epoch boundary exactly
-// one worker must become the *sealer* that publishes the epoch's checkpoint.
-// Election uses one compare&swap-(5) per epoch — 24 workers coordinated
-// through a 5-valued word, with crash-tolerant helping: even if the "obvious"
-// winner stalls, everyone still agrees on the same sealer.
-#include <atomic>
+// The paper's motivating scenario, upgraded from a one-shot election to a
+// long-lived service: a pool of workers needs exactly one *leader* at any
+// moment to seal epochs, and the leader may crash at any point.  The lease
+// protocol (DESIGN.md §10) runs here on BOTH backends:
+//
+//   1. sim: every seed drives a RandomScheduler plus a FaultPlan::random
+//      crash-restart storm through the deterministic simulator with virtual
+//      time — timer firings, crashes, restarts and spurious SC failures are
+//      all explicit schedule decisions;
+//   2. threads: run_thread_lease_storm() runs the same protocol template on
+//      real std::thread + atomics with scripted aborts (run this binary
+//      under ASan/TSan to check the memory-model story).
+//
+// Every run's lease ledger is checked for the safety property "no two
+// processes ever hold overlapping valid leases".  With --out PATH the run
+// emits a bss-runreport v1 with the service.* stat family, schema-gated by
+// the same validator CI uses (tools/report_check).
+//
+//   ./leader_worker_pool [--soak] [--seed N] [--out PATH]
 #include <cstdio>
-#include <memory>
-#include <thread>
-#include <vector>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
 
-#include "core/concurrent_election.h"
+#include "obs/obs.h"
+#include "obs/runreport.h"
+#include "runtime/fault_plan.h"
+#include "runtime/scheduler.h"
+#include "runtime/sim_env.h"
+#include "service/lease_config.h"
+#include "service/lease_ledger.h"
+#include "service/lease_service.h"
+#include "service/sim_platform.h"
+#include "service/thread_platform.h"
+#include "util/rng.h"
 
 namespace {
 
-constexpr int kK = 5;
-constexpr int kWorkers = 24;  // (kK-1)!
-constexpr int kEpochs = 8;
-constexpr int kTasksPerEpoch = 480;
+using bss::service::LeaseConfig;
+using bss::service::LeaseLedger;
+using bss::service::LeaseStats;
 
-struct Epoch {
-  std::atomic<int> next_task{0};
-  std::atomic<int> completed{0};
-  bss::core::AtomicElectionMemory election{kK};
-  std::atomic<long long> checkpoint{-1};
-};
+LeaseConfig pool_config() {
+  LeaseConfig config;
+  config.n = 4;
+  config.renewals = 1;
+  config.acquire_attempts = 3;
+  config.sc_retries = 1;
+  return config;
+}
+
+/// One seeded sim storm: random schedule, random crash-restart-spurious
+/// plan, ledger checked after the run.  Returns nullopt when safe.
+std::optional<std::string> run_sim_storm(const LeaseConfig& config,
+                                         std::uint64_t seed,
+                                         LeaseStats& stats, int& restarts,
+                                         bss::obs::Telemetry* telemetry) {
+  bss::service::LeaseSharedState state(config);
+  LeaseLedger ledger;
+  ledger.set_obs_sink(telemetry);
+  bss::sim::SimEnv env;
+  for (int pid = 0; pid < config.n; ++pid) {
+    const auto program = [&, pid](bss::sim::Ctx& ctx) {
+      (void)pid;
+      bss::service::SimLeasePlatform plat(ctx, state);
+      bss::service::run_lease_session(plat, ledger, config);
+    };
+    env.add_process(program, program);  // the session is its own restart hook
+  }
+  bss::Rng rng(seed);
+  const bss::sim::FaultPlan plan = bss::sim::FaultPlan::random(
+      config.n, /*crash_p=*/0.25, /*restart_p=*/0.5, /*sc_p=*/0.25,
+      /*max_op=*/24, rng);
+  bss::sim::RandomScheduler scheduler(seed * 0x9e3779b97f4a7c15ULL + 1);
+  const bss::sim::RunReport report = env.run(scheduler, plan);
+  for (int pid = 0; pid < config.n; ++pid) {
+    const auto i = static_cast<std::size_t>(pid);
+    restarts += report.restarts_by_pid[i];
+    if (report.outcomes[i] == bss::sim::ProcOutcome::kFailed) {
+      return "seed " + std::to_string(seed) + ": p" + std::to_string(pid) +
+             " failed: " + report.errors[i];
+    }
+  }
+  stats.merge_from(ledger.stats());
+  if (const auto violation = ledger.check(); violation.has_value()) {
+    return "seed " + std::to_string(seed) + ": " + *violation;
+  }
+  return std::nullopt;
+}
 
 }  // namespace
 
-int main() {
-  std::vector<std::unique_ptr<Epoch>> epochs;
-  for (int e = 0; e < kEpochs; ++e) epochs.push_back(std::make_unique<Epoch>());
-
-  std::atomic<long long> total_work{0};
-  std::vector<int> seals_by_worker(kWorkers, 0);
-
-  std::vector<std::thread> workers;
-  workers.reserve(kWorkers);
-  for (int w = 0; w < kWorkers; ++w) {
-    workers.emplace_back([&, w] {
-      for (int e = 0; e < kEpochs; ++e) {
-        Epoch& epoch = *epochs[static_cast<std::size_t>(e)];
-        // Grab and "process" tasks until the epoch drains.
-        for (;;) {
-          const int task = epoch.next_task.fetch_add(1);
-          if (task >= kTasksPerEpoch) break;
-          total_work.fetch_add(task % 7 + 1, std::memory_order_relaxed);
-          epoch.completed.fetch_add(1);
-        }
-        // Everyone runs the election; exactly one identity wins.  The
-        // election is wait-free: no worker blocks on another.
-        const auto outcome = bss::core::fvt_elect(
-            epoch.election, static_cast<std::uint64_t>(w), 1000 + w);
-        const int sealer = static_cast<int>(outcome.leader - 1000);
-        if (sealer == w) {
-          // The sealer publishes the checkpoint once the epoch drained.
-          while (epoch.completed.load() < kTasksPerEpoch) {
-            std::this_thread::yield();
-          }
-          epoch.checkpoint.store(total_work.load());
-          ++seals_by_worker[static_cast<std::size_t>(w)];
-        } else {
-          // Non-sealers move on immediately; they only needed agreement on
-          // WHO seals (reading the checkpoint can happen any time later).
-        }
-      }
-    });
+int main(int argc, char** argv) {
+  bool soak = false;
+  std::uint64_t base_seed = 1;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--soak") {
+      soak = true;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      base_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--soak] [--seed N] [--out PATH]\n", argv[0]);
+      return 2;
+    }
   }
-  for (auto& worker : workers) worker.join();
 
-  std::printf("epoch  sealer-checkpoint\n");
-  bool all_sealed = true;
-  for (int e = 0; e < kEpochs; ++e) {
-    const long long checkpoint =
-        epochs[static_cast<std::size_t>(e)]->checkpoint.load();
-    all_sealed = all_sealed && checkpoint >= 0;
-    std::printf("%5d  %lld\n", e, checkpoint);
+  const LeaseConfig config = pool_config();
+  const int sim_runs = soak ? 400 : 40;
+  const int thread_runs = soak ? 200 : 20;
+
+  // --- sim backend: seeded random storms through the simulator -----------
+  bss::obs::Telemetry telemetry;  // lifecycle events from the FIRST run only
+  LeaseStats sim_stats;
+  int sim_restarts = 0;
+  int violations = 0;
+  for (int run = 0; run < sim_runs; ++run) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(run);
+    const auto verdict = run_sim_storm(config, seed, sim_stats, sim_restarts,
+                                       run == 0 ? &telemetry : nullptr);
+    if (verdict.has_value()) {
+      std::fprintf(stderr, "sim VIOLATION: %s\n", verdict->c_str());
+      ++violations;
+    }
   }
-  int sealers = 0;
-  for (const int count : seals_by_worker) sealers += count;
-  std::printf(
-      "\n%d epochs, %d seal actions total (exactly one per epoch: %s)\n",
-      kEpochs, sealers, sealers == kEpochs && all_sealed ? "yes" : "NO");
-  std::printf("coordination cost: one 5-valued word per epoch for %d workers\n",
-              kWorkers);
-  return sealers == kEpochs && all_sealed ? 0 : 1;
+  std::printf("sim    %4d seeded storms  n=%d  restarts=%d  acquired=%llu  "
+              "takeovers=%llu  step-downs=%llu  violations=%d\n",
+              sim_runs, config.n, sim_restarts,
+              static_cast<unsigned long long>(sim_stats.leases_acquired),
+              static_cast<unsigned long long>(sim_stats.takeovers),
+              static_cast<unsigned long long>(sim_stats.step_downs),
+              violations);
+
+  // --- thread backend: the same protocol on real atomics -----------------
+  LeaseStats thread_stats;
+  int thread_restarts = 0;
+  int thread_spurious = 0;
+  for (int run = 0; run < thread_runs; ++run) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(run);
+    const auto report =
+        bss::service::run_thread_lease_storm(config, seed, /*max_crashes=*/2);
+    thread_stats.merge_from(report.stats);
+    thread_restarts += report.restarts;
+    thread_spurious += report.spurious_delivered;
+    if (report.violation.has_value()) {
+      std::fprintf(stderr, "thread VIOLATION: seed %llu: %s\n",
+                   static_cast<unsigned long long>(seed),
+                   report.violation->c_str());
+      ++violations;
+    }
+  }
+  std::printf("thread %4d seeded storms  n=%d  restarts=%d  spurious-sc=%d  "
+              "acquired=%llu  step-downs=%llu  violations=%d\n",
+              thread_runs, config.n, thread_restarts, thread_spurious,
+              static_cast<unsigned long long>(thread_stats.leases_acquired),
+              static_cast<unsigned long long>(thread_stats.step_downs),
+              violations);
+  std::printf("telemetry: %llu lifecycle events from the showcase run "
+              "(service.acquire/renew/step_down/give_up)\n",
+              static_cast<unsigned long long>(
+                  telemetry.event_log().emitted()));
+
+  // --- runreport: the service.* stat family, schema-gated ----------------
+  if (!out_path.empty()) {
+    LeaseStats total;
+    total.merge_from(sim_stats);
+    total.merge_from(thread_stats);
+    bss::obs::ReportBuilder report("service_storm", "leader_worker_pool");
+    report.set_system("lease[n=" + std::to_string(config.n) + "]");
+    report.option("soak", soak);
+    report.option("base_seed", static_cast<double>(base_seed));
+    report.stat("sim_runs", static_cast<std::uint64_t>(sim_runs));
+    report.stat("thread_runs", static_cast<std::uint64_t>(thread_runs));
+    report.stat("restarts",
+                static_cast<std::uint64_t>(sim_restarts + thread_restarts));
+    report.stat("violations", static_cast<std::uint64_t>(violations));
+    report.stat("service.leases_acquired", total.leases_acquired);
+    report.stat("service.takeovers", total.takeovers);
+    report.stat("service.renewals", total.renewals);
+    report.stat("service.renew_failures", total.renew_failures);
+    report.stat("service.retries", total.retries);
+    report.stat("service.step_downs", total.step_downs);
+    report.stat("service.expirations", total.expirations);
+    report.stat("service.give_ups", total.give_ups);
+    report.stat("service.actions", total.actions);
+    const std::string text = report.to_json();
+    const auto errors = bss::obs::validate_runreport(text);
+    if (!errors.empty()) {
+      std::fprintf(stderr, "runreport invalid: %s\n", errors.front().c_str());
+      return 1;
+    }
+    std::ofstream(out_path) << text;
+    std::printf("runreport -> %s (validator clean)\n", out_path.c_str());
+  }
+
+  return violations == 0 ? 0 : 1;
 }

@@ -19,6 +19,7 @@ json::Value stats_to_json(const ExploreStats& stats) {
   json::Object object;
   object.emplace("schedules", json::Value(stats.schedules));
   object.emplace("transitions", json::Value(stats.transitions));
+  object.emplace("timer_grants", json::Value(stats.timer_grants));
   object.emplace("sleep_set_prunes", json::Value(stats.sleep_set_prunes));
   object.emplace("preemption_prunes", json::Value(stats.preemption_prunes));
   object.emplace("truncated", json::Value(stats.truncated));
@@ -227,7 +228,7 @@ ExploreStats parse_stats(const json::Object& parent, const std::string& key,
                          const char* where) {
   const json::Object& object = get_object(parent, key, where);
   check_keys(object,
-             {"schedules", "transitions", "sleep_set_prunes",
+             {"schedules", "transitions", "timer_grants", "sleep_set_prunes",
               "preemption_prunes", "truncated", "max_depth_seen",
               "shrink_runs", "shrink_budget_hits", "fault_prunes",
               "faults_injected", "fault_points"},
@@ -235,6 +236,7 @@ ExploreStats parse_stats(const json::Object& parent, const std::string& key,
   ExploreStats stats;
   stats.schedules = get_u64(object, "schedules", where);
   stats.transitions = get_u64(object, "transitions", where);
+  stats.timer_grants = get_u64(object, "timer_grants", where);
   stats.sleep_set_prunes = get_u64(object, "sleep_set_prunes", where);
   stats.preemption_prunes = get_u64(object, "preemption_prunes", where);
   stats.truncated = get_u64(object, "truncated", where);

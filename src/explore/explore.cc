@@ -403,6 +403,7 @@ RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
                    const ObsCtx& octx) {
   RunOutcome outcome;
   std::uint64_t run_transitions = 0;
+  std::uint64_t run_timer_grants = 0;
   std::uint64_t run_faults = 0;
   std::vector<FaultPoint> run_fault_points;
   std::optional<audit::Auditor> auditor;
@@ -412,6 +413,7 @@ RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
   // and re-counted by the worker, keeping parallel results byte-identical.
   const auto commit = [&] {
     unit.stats.transitions += run_transitions;
+    unit.stats.timer_grants += run_timer_grants;
     unit.stats.faults_injected += run_faults;
     unit.fault_points.insert(run_fault_points.begin(), run_fault_points.end());
     if (auditor.has_value()) {
@@ -486,6 +488,7 @@ RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
     }
     switch (action.kind) {
       case ActionKind::kGrant:
+        if (env.pending_of(action.pid).op == "timer") ++run_timer_grants;
         env.step_process(action.pid);
         ++granted;
         ++run_transitions;
@@ -513,6 +516,7 @@ RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
   if (octx.shard != nullptr) {
     ++octx.shard->counter("explore.schedules");
     octx.shard->counter("explore.transitions") += run_transitions;
+    octx.shard->counter("explore.timer_grants") += run_timer_grants;
     octx.shard->counter("explore.faults_injected") += run_faults;
     octx.shard->gauge_max("explore.max_depth_seen", granted);
     octx.shard->histogram("explore.schedule_depth", depth_bounds())
@@ -2107,6 +2111,7 @@ ExploreResult explore(const ExplorableSystem& system,
     const ExploreStats& stats = result.stats;
     report.stat("schedules", stats.schedules);
     report.stat("transitions", stats.transitions);
+    report.stat("timer_grants", stats.timer_grants);
     report.stat("sleep_set_prunes", stats.sleep_set_prunes);
     report.stat("preemption_prunes", stats.preemption_prunes);
     report.stat("truncated", stats.truncated);
@@ -2151,6 +2156,7 @@ ExploreResult explore(const ExplorableSystem& system,
 void ExploreStats::merge_from(const ExploreStats& other) {
   schedules += other.schedules;
   transitions += other.transitions;
+  timer_grants += other.timer_grants;
   sleep_set_prunes += other.sleep_set_prunes;
   preemption_prunes += other.preemption_prunes;
   truncated += other.truncated;
@@ -2165,8 +2171,9 @@ void ExploreStats::merge_from(const ExploreStats& other) {
 
 std::string ExploreStats::summary() const {
   std::ostringstream out;
-  out << "schedules=" << schedules << " transitions=" << transitions
-      << " sleep-prunes=" << sleep_set_prunes
+  out << "schedules=" << schedules << " transitions=" << transitions;
+  if (timer_grants > 0) out << " timer-grants=" << timer_grants;
+  out << " sleep-prunes=" << sleep_set_prunes
       << " preemption-prunes=" << preemption_prunes
       << " truncated=" << truncated << " max-depth=" << max_depth_seen
       << " shrink-runs=" << shrink_runs;

@@ -299,6 +299,7 @@ struct AuditSummary {
 struct ExploreStats {
   std::uint64_t schedules = 0;         ///< complete executions checked
   std::uint64_t transitions = 0;       ///< total granted steps
+  std::uint64_t timer_grants = 0;      ///< granted virtual-timer firings
   std::uint64_t sleep_set_prunes = 0;  ///< branches cut by POR
   std::uint64_t preemption_prunes = 0; ///< branches cut by the budget
   std::uint64_t truncated = 0;         ///< schedules cut by max_depth

@@ -212,9 +212,44 @@ std::vector<std::string> validate_runreport(std::string_view text) {
   }
   if (const json::Value* stats = value->find("stats");
       stats != nullptr && stats->is_object()) {
+    // The "service." stat family is a closed namespace (the lease service's
+    // LeaseStats counters): an unrecognized name there is a typo or schema
+    // drift, not a new ad-hoc counter.  And a report that mentions the
+    // family at all must carry its load-bearing trio — acquisitions,
+    // retries, step-downs — since a soak that reports renewals but hides
+    // how often the service gave ground is not auditable.
+    static constexpr std::string_view kServiceStats[] = {
+        "service.leases_acquired", "service.takeovers",
+        "service.renewals",        "service.renew_failures",
+        "service.retries",         "service.step_downs",
+        "service.expirations",     "service.give_ups",
+        "service.actions",
+    };
+    bool any_service = false;
     for (const auto& [name, stat] : stats->as_object()) {
       if (!stat.is_int()) {
         errors.push_back("stat \"" + name + "\" is not an integer");
+      }
+      if (name.rfind("service.", 0) != 0) continue;
+      any_service = true;
+      bool known = false;
+      for (std::string_view candidate : kServiceStats) {
+        known |= candidate == name;
+      }
+      if (!known) {
+        errors.push_back("unknown service stat \"" + name +
+                         "\" (not a LeaseStats counter)");
+      }
+    }
+    if (any_service) {
+      for (std::string_view required : {"service.leases_acquired",
+                                        "service.retries",
+                                        "service.step_downs"}) {
+        if (stats->as_object().find(std::string(required)) ==
+            stats->as_object().end()) {
+          errors.push_back("service stats present but missing \"" +
+                           std::string(required) + "\"");
+        }
       }
     }
   }

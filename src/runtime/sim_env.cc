@@ -56,6 +56,26 @@ std::string RunReport::summary() const {
 
 std::uint64_t Ctx::global_step() const { return env_->step_; }
 
+std::uint64_t Ctx::now() {
+  sync({"@clock", "read", 0, 0});
+  access_token().read("@clock");
+  const std::uint64_t value = env_->virtual_now_;
+  note_result(static_cast<std::int64_t>(value));
+  return value;
+}
+
+std::uint64_t Ctx::sleep_until(std::uint64_t deadline) {
+  sync({"@clock", "timer", static_cast<std::int64_t>(deadline), 0});
+  // The grant IS the timer firing: the adversary chose this moment, so the
+  // clock jumps far enough for the deadline to have passed (and no further —
+  // other processes' views only move when their own ops are granted).
+  access_token().write("@clock");
+  if (deadline > env_->virtual_now_) env_->virtual_now_ = deadline;
+  const std::uint64_t value = env_->virtual_now_;
+  note_result(static_cast<std::int64_t>(value));
+  return value;
+}
+
 void Ctx::sync(OpDesc desc) {
   env_->park(pid_, std::move(desc));
   ++steps_taken_;

@@ -20,6 +20,18 @@
 // store-conditional failures are delivered to the LL/SC object through
 // Ctx::take_sc_failure.
 //
+// Virtual time: the engine carries a logical clock (virtual_now, a plain
+// uint64 of abstract ticks) that only timer operations move.  Ctx::now()
+// reads it as a synced shared operation on the pseudo-object "@clock";
+// Ctx::sleep_until(deadline) parks the process on a {"@clock", "timer"}
+// operation whose *grant* advances the clock to max(now, deadline).  Because
+// a timer firing is just another granted step, the scheduler — and therefore
+// the DFS explorer — adversarially races timeouts against ordinary steps and
+// faults with no extra machinery: a timer decision is a decision.  Footprints
+// are declared like any register's ("read" reads @clock, "timer" writes it),
+// so sleep-set POR and the access-ledger audit stay sound: two reads of the
+// clock commute, everything else on @clock conflicts.
+//
 // Implementation: each process runs on its own std::thread but is gated by a
 // binary semaphore; the engine holds a counting semaphore that each process
 // releases when it reaches its next sync point (or finishes).  The threads
@@ -65,6 +77,21 @@ class Ctx {
   /// Global step counter at the moment of the call — timestamps for interval
   /// histories (runtime/linearizability.h).  Stable while this process runs.
   std::uint64_t global_step() const;
+
+  /// Reads the virtual clock as a synced shared operation on "@clock"
+  /// (footprint: read).  The value is the logical tick count advanced only
+  /// by granted timer operations, so it is deterministic per schedule.
+  std::uint64_t now();
+
+  /// Parks the process on a {"@clock", "timer", deadline} operation; when
+  /// the scheduler grants it, the virtual clock jumps to
+  /// max(virtual_now, deadline) and the new now is returned (footprint:
+  /// write — timers conflict with every other @clock op, so POR never
+  /// prunes a schedule that orders a timeout differently).  The scheduler
+  /// may grant the timer at any point, which is exactly the asynchronous-
+  /// model reading of a timeout: "at least until `deadline`, then whenever
+  /// the adversary feels like it".
+  std::uint64_t sleep_until(std::uint64_t deadline);
 
   /// Announces the pending operation and blocks until the scheduler grants
   /// this process its next step.  Called by shared objects at the start of
@@ -226,6 +253,10 @@ class SimEnv {
   const Trace& trace() const { return trace_; }
   /// Scheduler decisions made during run(), for ReplayScheduler.
   const std::vector<int>& decisions() const { return decisions_; }
+  /// The virtual clock: logical ticks advanced only by granted timer
+  /// operations (Ctx::sleep_until).  Deterministic per schedule; harness
+  /// checkers read it to timestamp reconstructed histories.
+  std::uint64_t virtual_now() const { return virtual_now_; }
 
  private:
   friend class Ctx;
@@ -275,6 +306,7 @@ class SimEnv {
   Trace trace_;
   std::vector<int> decisions_;
   std::uint64_t step_ = 0;
+  std::uint64_t virtual_now_ = 0;  ///< logical clock; timer grants advance it
   bool ran_ = false;
   bool started_ = false;
   bool finished_ = false;

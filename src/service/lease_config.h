@@ -1,0 +1,104 @@
+// Configuration for the lease-based leader-election service (src/service).
+//
+// All durations are virtual-clock ticks (runtime/sim_env.h: Ctx::now /
+// Ctx::sleep_until on the sim backend, the shared logical clock on the
+// thread backend).  The defaults are sized for exhaustive exploration:
+// small terms keep schedule lengths short enough for the DFS to cover the
+// whole timer x step x fault space at n = 2..3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/checked.h"
+
+namespace bss::service {
+
+/// Seeded service bugs the fault explorer must refute (the service analogue
+/// of core::RestartBehavior::kFreshClaim).  Each mutant changes exactly one
+/// decision in the renewal loop; the lease ledger's overlap check is what
+/// catches the consequences.
+enum class LeaseMutant {
+  kNone,              ///< the correct service
+  /// BUG: on waking for renewal the service skips the "is my lease still
+  /// valid?" check and keeps acting on the stale lease — a successor that
+  /// legitimately took over after the expiry then overlaps it.
+  kRenewAfterExpiry,
+  /// BUG: when the renewal store-conditional fails, the service assumes the
+  /// renewal happened anyway (no graceful step-down): its private expiry
+  /// runs ahead of the shared one, so a challenger that honors the shared
+  /// expiry takes over while the mutant still believes it leads.
+  kNoStepDownOnRenewFailure,
+};
+
+const char* to_string(LeaseMutant mutant);
+
+struct LeaseConfig {
+  /// Participating processes; fixes the holder register's value domain
+  /// (1 + 2n: vacant, held(p), pend(p)).
+  int n = 2;
+  /// Lease duration granted per acquisition/renewal.
+  std::uint64_t term = 8;
+  /// A holder wakes to renew this many ticks before its expiry; must be
+  /// strictly less than `term`.
+  std::uint64_t renew_margin = 3;
+  /// Renewal cycles a leader attempts before serving out its final term and
+  /// retiring (0: acquire, serve one term, step down).
+  int renewals = 1;
+  /// Bounded acquisition attempts; waiting out a valid holder's lease
+  /// consumes one attempt.
+  int acquire_attempts = 2;
+  /// Retries of a failed renewal store-conditional while the lease is still
+  /// believed valid (spurious SC failures are retryable; being deposed is
+  /// not).
+  int sc_retries = 1;
+  /// Base unit of the deterministic backoff added when waiting out another
+  /// process's lease (the stagger keeps challengers from stampeding the
+  /// expiry tick).
+  std::uint64_t backoff_base = 1;
+  /// Seeds the deterministic backoff jitter; same seed, same waits.
+  std::uint64_t seed = 0x1ea5e;
+
+  void validate() const {
+    expects(n >= 1, "lease service needs at least one process");
+    expects(term > renew_margin, "lease term must exceed the renew margin");
+    expects(renewals >= 0 && acquire_attempts >= 1 && sc_retries >= 0,
+            "lease retry budgets must be non-negative");
+  }
+};
+
+/// Holder-register token encoding over the bounded domain 1 + 2n:
+/// 0 is vacant, 1+p is held(p), 1+n+p is pend(p) — pend is the first phase
+/// of the two-phase acquisition/renewal (claim the slot, then publish the
+/// expiry, then confirm).  Only held(p) confers acting rights.
+inline constexpr int kVacant = 0;
+constexpr int holder_domain(int n) { return 1 + 2 * n; }
+constexpr int held_token(int n, int pid) {
+  (void)n;
+  return 1 + pid;
+}
+constexpr int pend_token(int n, int pid) { return 1 + n + pid; }
+/// The pid a non-vacant token belongs to (held or pend).
+constexpr int token_owner(int n, int token) {
+  return token == kVacant ? -1 : token <= n ? token - 1 : token - 1 - n;
+}
+constexpr bool is_pend(int n, int token) { return token > n; }
+
+/// Deterministic backoff stagger for `pid`'s `attempt`-th wait: a small
+/// seeded jitter in [0, base] plus a linear term, so concurrent waiters
+/// spread out without any source of nondeterminism (splitmix-style hash of
+/// (seed, pid, attempt)).
+constexpr std::uint64_t lease_backoff(const LeaseConfig& config, int pid,
+                                      int attempt) {
+  std::uint64_t z = config.seed + 0x9e3779b97f4a7c15ULL *
+                                      (static_cast<std::uint64_t>(pid) * 31 +
+                                       static_cast<std::uint64_t>(attempt) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const std::uint64_t jitter =
+      config.backoff_base == 0 ? 0 : z % (config.backoff_base + 1);
+  return config.backoff_base * static_cast<std::uint64_t>(attempt) + jitter;
+}
+
+}  // namespace bss::service

@@ -1,0 +1,211 @@
+// The lease-based leader-election service: a two-phase lease protocol over
+// the bounded LL/SC holder register plus per-process expiry registers,
+// written once against a small platform concept so the SAME protocol code
+// runs on the deterministic simulator (where the explorer races its timers
+// against steps and faults) and on real std::threads.
+//
+// Shared state (see lease_config.h for the token encoding):
+//
+//   holder : LL/SC register over 1 + 2n values — vacant / held(p) / pend(p)
+//   E[p]   : per-process expiry register, written only by p
+//
+// Two-phase acquisition and renewal, the crux of the safety argument:
+// claiming the slot and publishing the expiry cannot be one atomic step on
+// a bounded register, so the claimer first installs pend(p) (an SC), then
+// writes E[p], then confirms held(p) (a second SC).  Challengers honor
+// pend like held — they read the owner's expiry and wait it out — so the
+// window where E[p] is still stale is protected by the OLD expiry value,
+// and any challenger that squeezes into that window (reads the stale,
+// already-past expiry) breaks the claimer's link, making the confirm SC
+// fail.  Consequence: a reign begins only at a successful confirm, and at
+// that point the published expiry already covers it.  The same shape
+// protects renewal: pend(p), republish E[p], confirm held(p).  A renewal
+// SC that fails spuriously (hardware-faithful LL/SC, FaultPlan::fail_sc)
+// is retried a bounded number of times and then the service steps down
+// gracefully — the shared expiry was never extended, so the world may
+// already have moved on.
+//
+// Safety property (checked by the lease ledger): no two processes' reigns
+// overlap.  Proof sketch of the invariant maintained by every path: a
+// process's recorded reign never extends past its last PUBLISHED expiry,
+// and a challenger's reign never starts before the holder's published
+// expiry as of the challenger's successful pend-SC (LL/SC orders the
+// publish before the steal).  The two seeded mutants each break exactly
+// one half of that invariant.
+//
+// Crash-recovery: the session is its own restart hook.  A restarted
+// incarnation lost every private local (its believed expiry included) and
+// simply re-enters acquisition, where its own stale registration looks
+// like any other holder's — it waits out its own old lease.  No recovery
+// audit is needed; the protocol is recovery-safe by construction.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+
+#include "service/lease_config.h"
+#include "service/lease_ledger.h"
+
+namespace bss::service {
+
+/// What the protocol needs from a backend.  Sim: service/sim_platform.h
+/// (SimEnv registers + virtual clock).  Threads: service/thread_platform.h
+/// (atomics + a shared logical clock).
+template <class P>
+concept LeasePlatform = requires(P p, int v, std::int64_t e, std::uint64_t t) {
+  { p.pid() } -> std::convertible_to<int>;
+  { p.incarnation() } -> std::convertible_to<int>;
+  { p.now() } -> std::convertible_to<std::uint64_t>;
+  { p.sleep_until(t) } -> std::convertible_to<std::uint64_t>;
+  { p.holder_ll() } -> std::convertible_to<int>;
+  { p.holder_sc(v) } -> std::convertible_to<bool>;
+  { p.expiry_read(v) } -> std::convertible_to<std::int64_t>;
+  p.expiry_write(e);
+};
+
+/// Vacates the holder slot iff we still own it (held or pend).  Best
+/// effort: a failed SC means somebody legitimately took over in between,
+/// which needs no cleanup.
+template <LeasePlatform P>
+void release_lease(P& plat, const LeaseConfig& config) {
+  const int h = plat.holder_ll();
+  if (h == held_token(config.n, plat.pid()) ||
+      h == pend_token(config.n, plat.pid())) {
+    plat.holder_sc(kVacant);
+  }
+}
+
+/// Bounded acquisition with deterministic backoff.  Returns true with the
+/// confirmed expiry in `expiry_out`; false when the attempt budget ran out.
+template <LeasePlatform P>
+bool acquire_lease(P& plat, LeaseLedger& ledger, const LeaseConfig& config,
+                   std::uint64_t* expiry_out) {
+  const int me = plat.pid();
+  for (int attempt = 0; attempt < config.acquire_attempts; ++attempt) {
+    if (attempt > 0) ledger.retried(me);
+    const int h = plat.holder_ll();
+    bool takeover = false;
+    if (h != kVacant) {
+      const int owner = token_owner(config.n, h);
+      const auto e = static_cast<std::uint64_t>(plat.expiry_read(owner));
+      const std::uint64_t t = plat.now();
+      if (t < e) {
+        // A live lease (held or mid-handoff pend): wait it out with a
+        // seeded stagger so challengers don't stampede the expiry tick.
+        // The wait is skipped on the final attempt — with no retry to arm,
+        // sleeping would only delay the give-up.
+        if (attempt + 1 < config.acquire_attempts) {
+          plat.sleep_until(e + lease_backoff(config, me, attempt));
+        }
+        continue;
+      }
+      takeover = true;  // the published expiry has passed: the slot is fair game
+    }
+    // Phase 1: claim the pend slot.  Fails if anyone moved since our LL.
+    if (!plat.holder_sc(pend_token(config.n, me))) continue;
+    // Phase 2: publish our expiry, then confirm.  Until the confirm lands,
+    // challengers reading the OLD E[me] may legally steal the slot — their
+    // SC then breaks our link and the confirm below fails.
+    const std::uint64_t start = plat.now();
+    const std::uint64_t expiry = start + config.term;
+    plat.expiry_write(static_cast<std::int64_t>(expiry));
+    if (plat.holder_ll() != pend_token(config.n, me)) continue;
+    if (!plat.holder_sc(held_token(config.n, me))) continue;
+    ledger.acquired(me, plat.incarnation(), start, expiry, takeover);
+    *expiry_out = expiry;
+    return true;
+  }
+  ledger.gave_up(me, plat.now());
+  return false;
+}
+
+/// One full service session: acquire, renew `config.renewals` times, serve
+/// out the final term, step down.  `mutant` selects a seeded bug (see
+/// LeaseMutant); the ledger records what actually happened either way.
+template <LeasePlatform P>
+void run_lease_session(P& plat, LeaseLedger& ledger, const LeaseConfig& config,
+                       LeaseMutant mutant = LeaseMutant::kNone) {
+  config.validate();
+  const int me = plat.pid();
+  std::uint64_t valid_until = 0;
+  if (!acquire_lease(plat, ledger, config, &valid_until)) return;
+
+  for (int cycle = 0; cycle < config.renewals; ++cycle) {
+    const std::uint64_t margin = std::min(config.renew_margin, valid_until);
+    const std::uint64_t t = plat.sleep_until(valid_until - margin);
+    if (mutant != LeaseMutant::kRenewAfterExpiry && t >= valid_until) {
+      // The lease lapsed while we slept.  We never acted past valid_until,
+      // so the reign truthfully ended there; vacate if nobody moved in yet.
+      ledger.stepped_down(me, valid_until, StepDownReason::kExpired);
+      release_lease(plat, config);
+      return;
+    }
+    // Leader work: serve one request at time t.  The correct service only
+    // reaches this point with a live lease; kRenewAfterExpiry reaches it on
+    // a stale one, and this recorded action is exactly what the ledger's
+    // overlap check convicts it with.
+    ledger.led(me, t);
+
+    // Renewal phase 1: re-claim our own slot as pend(me).  A failure is
+    // either a spurious SC (retryable) or a successor's takeover (final).
+    bool pended = false;
+    for (int attempt = 0; attempt <= config.sc_retries; ++attempt) {
+      if (attempt > 0) ledger.retried(me);
+      if (plat.holder_ll() != held_token(config.n, me)) break;  // deposed
+      if (plat.holder_sc(pend_token(config.n, me))) {
+        pended = true;
+        break;
+      }
+    }
+    if (!pended) {
+      ledger.renew_failed(me);
+      if (mutant == LeaseMutant::kNoStepDownOnRenewFailure &&
+          plat.holder_ll() == held_token(config.n, me)) {
+        // BUG: the failed SC left our token in place, so the failure was
+        // merely spurious — and instead of stepping down (or retrying the
+        // SC), the service assumes the renewal landed anyway.  Its private
+        // expiry now runs ahead of the published one, so a challenger that
+        // honors the published expiry will overlap it.  Note the guard:
+        // without a spurious failure an SC only fails because somebody
+        // moved the token, the re-check sees that, and even this mutant
+        // steps down — refuting it takes an injected "s" fault.
+        valid_until = t + config.term;
+        ledger.renewed(me, valid_until);
+        continue;
+      }
+      // Graceful step-down: the shared expiry was never extended, so stop
+      // acting at whichever came first — our old validity or right now —
+      // and vacate if the slot is still ours.
+      ledger.stepped_down(me, std::min(valid_until, t),
+                          StepDownReason::kRenewFailed);
+      release_lease(plat, config);
+      return;
+    }
+    // Renewal phase 2: publish the extended expiry, confirm held(me).
+    const std::uint64_t extended = t + config.term;
+    plat.expiry_write(static_cast<std::int64_t>(extended));
+    if (plat.holder_ll() != pend_token(config.n, me) ||
+        !plat.holder_sc(held_token(config.n, me))) {
+      // Stolen mid-handoff (a challenger squeezed into the stale-expiry
+      // window) or a spurious confirm failure: either way the renewal did
+      // not land, so step down as above.
+      ledger.renew_failed(me);
+      ledger.stepped_down(me, std::min(valid_until, t),
+                          StepDownReason::kDeposed);
+      release_lease(plat, config);
+      return;
+    }
+    valid_until = extended;
+    ledger.renewed(me, valid_until);
+  }
+
+  // Served every configured term: let the lease lapse, then retire.  The
+  // timer guarantees we are past valid_until when we wake, so the reign
+  // ends exactly at its published expiry.
+  plat.sleep_until(valid_until);
+  ledger.stepped_down(me, valid_until, StepDownReason::kRetired);
+  release_lease(plat, config);
+}
+
+}  // namespace bss::service

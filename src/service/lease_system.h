@@ -1,0 +1,31 @@
+// ExplorableSystem adapter for the lease service: every explored schedule
+// runs a fresh LeaseSharedState + LeaseLedger with config.n restartable
+// service processes, and the post-run property is the ledger's "no two
+// overlapping reigns" check.  Timer firings are ordinary explorer
+// decisions (runtime/sim_env.h virtual time), so the schedule space the
+// explorer covers is steps x timers x faults.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "explore/system.h"
+#include "service/lease_config.h"
+
+namespace bss::service {
+
+class LeaseServiceSystem final : public explore::ExplorableSystem {
+ public:
+  explicit LeaseServiceSystem(LeaseConfig config,
+                              LeaseMutant mutant = LeaseMutant::kNone);
+
+  std::string name() const override;
+  int process_count() const override;
+  std::unique_ptr<explore::SystemInstance> make() const override;
+
+ private:
+  LeaseConfig config_;
+  LeaseMutant mutant_;
+};
+
+}  // namespace bss::service

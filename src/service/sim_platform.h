@@ -1,0 +1,63 @@
+// Simulator backend for the lease service: the shared state lives in the
+// repo's bounded registers (LL/SC holder + SWMR expiry array) and time is
+// the SimEnv virtual clock, so the explorer enumerates every interleaving
+// of steps, timer firings, and injected faults of a full service run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "registers/ll_sc.h"
+#include "registers/swmr_register.h"
+#include "runtime/sim_env.h"
+#include "service/lease_config.h"
+
+namespace bss::service {
+
+/// The service's shared memory for one simulated instance: the bounded
+/// holder register (domain 1 + 2n) and one single-writer expiry register
+/// per process.  Construct once per run; hand each process a
+/// SimLeasePlatform view.
+struct LeaseSharedState {
+  explicit LeaseSharedState(const LeaseConfig& config)
+      : holder("holder", holder_domain(config.n), kVacant) {
+    expiry.reserve(static_cast<std::size_t>(config.n));
+    for (int p = 0; p < config.n; ++p) {
+      expiry.emplace_back("expiry" + std::to_string(p), p, std::int64_t{0});
+    }
+  }
+
+  sim::LlScRegisterK holder;
+  std::vector<sim::SwmrRegister<std::int64_t>> expiry;
+};
+
+/// Adapts one process's Ctx to the LeasePlatform concept.  Every call is a
+/// simulation step (sync + footprint), so the explorer schedules them.
+class SimLeasePlatform {
+ public:
+  SimLeasePlatform(sim::Ctx& ctx, LeaseSharedState& state)
+      : ctx_(ctx), state_(state) {}
+
+  int pid() const { return ctx_.pid(); }
+  int incarnation() const { return ctx_.incarnation(); }
+  std::uint64_t now() { return ctx_.now(); }
+  std::uint64_t sleep_until(std::uint64_t deadline) {
+    return ctx_.sleep_until(deadline);
+  }
+  int holder_ll() { return state_.holder.load_link(ctx_); }
+  bool holder_sc(int next) { return state_.holder.store_conditional(ctx_, next); }
+  std::int64_t expiry_read(int owner) {
+    return state_.expiry[static_cast<std::size_t>(owner)].read(ctx_);
+  }
+  void expiry_write(std::int64_t value) {
+    state_.expiry[static_cast<std::size_t>(ctx_.pid())].write(ctx_, value);
+  }
+
+ private:
+  sim::Ctx& ctx_;
+  LeaseSharedState& state_;
+};
+
+}  // namespace bss::service

@@ -1,0 +1,78 @@
+#include "service/thread_platform.h"
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "service/lease_service.h"
+#include "util/rng.h"
+
+namespace bss::service {
+
+namespace {
+
+/// Pre-draws one process's fault script from (seed, pid): up to
+/// `max_crashes` aborts at small op offsets, plus a couple of spurious SC
+/// failures spread over the incarnations those crashes create.  Pure
+/// function of its inputs, so a storm run is replayable by seed.
+ThreadFaultScript draw_script(std::uint64_t seed, int pid, int max_crashes) {
+  Rng rng(seed ^ (0x5707 + static_cast<std::uint64_t>(pid) * 0x9e3779b9));
+  ThreadFaultScript script;
+  const int crashes = max_crashes == 0 ? 0 : rng.next_int(max_crashes + 1);
+  for (int i = 0; i < crashes; ++i) {
+    // Service sessions are short (a few dozen platform ops); early offsets
+    // land the abort inside acquisition or the first renewal cycle.
+    script.abort_before_op.push_back(1 + rng.next_int(24));
+  }
+  const int spurious = rng.next_int(3);
+  for (int i = 0; i < spurious; ++i) {
+    script.spurious_sc.emplace_back(rng.next_int(crashes + 1),
+                                    rng.next_int(4));
+  }
+  return script;
+}
+
+}  // namespace
+
+ThreadStormReport run_thread_lease_storm(const LeaseConfig& config,
+                                         std::uint64_t seed, int max_crashes,
+                                         LeaseMutant mutant) {
+  config.validate();
+  ThreadLeaseBoard board(config);
+  LeaseLedger ledger;
+  std::atomic<int> restarts{0};
+  std::atomic<int> spurious_delivered{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config.n));
+  for (int p = 0; p < config.n; ++p) {
+    threads.emplace_back([&, p] {
+      ThreadLeasePlatform plat(board, p, draw_script(seed, p, max_crashes));
+      // Crash-restart loop: an aborted incarnation loses every local and
+      // re-enters the session fresh — the same recovery story the sim
+      // backend model-checks exhaustively.
+      for (int incarnation = 0;; ++incarnation) {
+        plat.begin_incarnation(incarnation);
+        try {
+          run_lease_session(plat, ledger, config, mutant);
+          break;
+        } catch (const ThreadLeaseRestart&) {
+          restarts.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      spurious_delivered.fetch_add(plat.spurious_delivered(),
+                                   std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ThreadStormReport report;
+  report.stats = ledger.stats();
+  report.violation = ledger.check();
+  report.restarts = restarts.load(std::memory_order_relaxed);
+  report.spurious_delivered =
+      spurious_delivered.load(std::memory_order_relaxed);
+  return report;
+}
+
+}  // namespace bss::service

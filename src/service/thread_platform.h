@@ -1,0 +1,200 @@
+// std::thread backend for the lease service: the same protocol template
+// (service/lease_service.h) running on real atomics under real
+// parallelism, with a crash-restart storm harness that injects aborts and
+// spurious SC failures from a pre-drawn deterministic plan.  The sim
+// backend proves the protocol safe on EVERY schedule; this backend checks
+// the proof survives contact with the hardware memory model (run under
+// TSan/ASan in CI).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/lease_config.h"
+#include "service/lease_ledger.h"
+
+namespace bss::service {
+
+/// Shared lease state on real atomics.  The holder register is a packed
+/// (version << 32 | token) word so load-link / store-conditional can be
+/// emulated with one CAS: SC succeeds iff the version still matches the
+/// link, and every successful SC bumps the version (no ABA).  The clock is
+/// a logical fetch-max counter — sleep_until(d) advances it to at least d
+/// and returns the new reading, mirroring the sim's virtual-timer grant.
+class ThreadLeaseBoard {
+ public:
+  explicit ThreadLeaseBoard(const LeaseConfig& config)
+      : n_(config.n),
+        expiry_(std::make_unique<std::atomic<std::int64_t>[]>(
+            static_cast<std::size_t>(config.n))) {
+    for (int p = 0; p < n_; ++p) {
+      expiry_[static_cast<std::size_t>(p)].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::uint64_t load_link() const {
+    return holder_.load(std::memory_order_acquire);
+  }
+  /// One-shot SC against the linked word: succeeds iff nothing intervened.
+  bool store_conditional(std::uint64_t linked, int next) {
+    const std::uint64_t version = (linked >> 32) + 1;
+    const std::uint64_t desired =
+        (version << 32) | static_cast<std::uint32_t>(next);
+    return holder_.compare_exchange_strong(linked, desired,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire);
+  }
+  static int token_of(std::uint64_t word) {
+    return static_cast<int>(word & 0xffffffffULL);
+  }
+
+  std::uint64_t clock_now() const {
+    return clock_.load(std::memory_order_acquire);
+  }
+  /// Advance the logical clock to at least `deadline` (fetch-max via CAS)
+  /// and return the post-advance reading.
+  std::uint64_t clock_advance(std::uint64_t deadline) {
+    std::uint64_t seen = clock_.load(std::memory_order_relaxed);
+    while (seen < deadline &&
+           !clock_.compare_exchange_weak(seen, deadline,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+    }
+    return std::max(seen, deadline);
+  }
+
+  std::int64_t expiry_read(int owner) const {
+    return expiry_[static_cast<std::size_t>(owner)].load(
+        std::memory_order_acquire);
+  }
+  void expiry_write(int owner, std::int64_t value) {
+    expiry_[static_cast<std::size_t>(owner)].store(value,
+                                                   std::memory_order_release);
+  }
+
+  int n() const { return n_; }
+
+ private:
+  int n_;
+  std::atomic<std::uint64_t> holder_{0};  ///< version << 32 | token (vacant)
+  std::atomic<std::uint64_t> clock_{0};
+  std::unique_ptr<std::atomic<std::int64_t>[]> expiry_;
+};
+
+/// Thrown by the platform mid-protocol when the storm plan kills this
+/// incarnation; the per-process driver catches it and re-enters the session
+/// as a fresh incarnation (the service's restart path).
+struct ThreadLeaseRestart {};
+
+/// Per-process fault plan for one storm run, pre-drawn so the whole storm
+/// is a pure function of its seed.  `abort_before_op[i]` kills incarnation
+/// i after that many platform ops (one entry per planned crash);
+/// `spurious_sc` marks (incarnation, sc_ordinal) pairs whose SC fails
+/// spuriously with the link intact.
+struct ThreadFaultScript {
+  std::vector<int> abort_before_op;
+  std::vector<std::pair<int, int>> spurious_sc;
+};
+
+/// LeasePlatform over a ThreadLeaseBoard.  Counts ops to trigger scripted
+/// aborts, and scripted spurious SC failures by per-incarnation SC ordinal.
+class ThreadLeasePlatform {
+ public:
+  ThreadLeasePlatform(ThreadLeaseBoard& board, int pid,
+                      ThreadFaultScript script = {})
+      : board_(board), pid_(pid), script_(std::move(script)) {}
+
+  /// Begin incarnation `i`: resets the op and SC counters and the link.
+  void begin_incarnation(int i) {
+    incarnation_ = i;
+    ops_ = 0;
+    sc_ordinal_ = 0;
+    linked_.reset();
+  }
+  int spurious_delivered() const { return spurious_delivered_; }
+
+  int pid() const { return pid_; }
+  int incarnation() const { return incarnation_; }
+  std::uint64_t now() {
+    tick();
+    return board_.clock_now();
+  }
+  std::uint64_t sleep_until(std::uint64_t deadline) {
+    tick();
+    return board_.clock_advance(deadline);
+  }
+  int holder_ll() {
+    tick();
+    const std::uint64_t word = board_.load_link();
+    linked_ = word;
+    return ThreadLeaseBoard::token_of(word);
+  }
+  bool holder_sc(int next) {
+    tick();
+    const int ordinal = sc_ordinal_++;
+    if (!linked_.has_value()) return false;
+    const std::uint64_t word = *linked_;
+    linked_.reset();
+    for (const auto& [inc, ord] : script_.spurious_sc) {
+      if (inc == incarnation_ && ord == ordinal) {
+        // Spurious failure: report failure, leave the word untouched.  The
+        // protocol's retry does a fresh LL, so no link restoration needed.
+        ++spurious_delivered_;
+        return false;
+      }
+    }
+    return board_.store_conditional(word, next);
+  }
+  std::int64_t expiry_read(int owner) {
+    tick();
+    return board_.expiry_read(owner);
+  }
+  void expiry_write(std::int64_t value) {
+    tick();
+    board_.expiry_write(pid_, value);
+  }
+
+ private:
+  void tick() {
+    const auto i = static_cast<std::size_t>(incarnation_);
+    if (i < script_.abort_before_op.size() &&
+        ops_ >= script_.abort_before_op[i]) {
+      throw ThreadLeaseRestart{};
+    }
+    ++ops_;
+  }
+
+  ThreadLeaseBoard& board_;
+  int pid_;
+  ThreadFaultScript script_;
+  int incarnation_ = 0;
+  int ops_ = 0;
+  int sc_ordinal_ = 0;
+  int spurious_delivered_ = 0;
+  std::optional<std::uint64_t> linked_;
+};
+
+/// One storm run's outcome: the merged ledger verdict plus fault-delivery
+/// accounting, so tests can assert the storm actually exercised the paths.
+struct ThreadStormReport {
+  LeaseStats stats;
+  std::optional<std::string> violation;  ///< nullopt: every reign disjoint
+  int restarts = 0;                      ///< crash-restarts actually delivered
+  int spurious_delivered = 0;            ///< spurious SC failures consumed
+};
+
+/// Runs config.n service processes on real threads under a seeded
+/// crash-restart storm: each process draws `max_crashes` scripted aborts
+/// and a handful of spurious SC failures from `seed`, runs the session to
+/// completion across incarnations, and the merged ledger is checked for
+/// overlap.  Deterministic plan, nondeterministic interleaving — the
+/// property must hold regardless.
+ThreadStormReport run_thread_lease_storm(const LeaseConfig& config,
+                                         std::uint64_t seed, int max_crashes,
+                                         LeaseMutant mutant = LeaseMutant::kNone);
+
+}  // namespace bss::service

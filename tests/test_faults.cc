@@ -206,6 +206,69 @@ TEST(SpuriousSc, InjectedFailureLeavesLinkIntactAndRetrySucceeds) {
   EXPECT_TRUE(results[1]);
 }
 
+TEST(SpuriousSc, OrdinalLandsInRestartIncarnation) {
+  // SC ordinals are LIFETIME coordinates: a restart does not reset the
+  // count, so fail_sc(0, 1) addresses the restarted incarnation's first SC
+  // (the process's second SC ever).  The failure must be delivered there,
+  // and the link must survive it so the in-incarnation retry wins.
+  sim::SimEnv env;
+  sim::LlScRegisterK llsc("llsc", 4);
+  struct Entry {
+    int incarnation;
+    bool first;
+    bool second;
+  };
+  std::vector<Entry> log;
+  const auto body = [&llsc, &log](sim::Ctx& ctx) {
+    llsc.load_link(ctx);                                // ops 0 / 2
+    const bool first = llsc.store_conditional(ctx, 1);  // op 1: sc #0 / op 3: sc #1
+    llsc.load_link(ctx);                                // unwind point / op 4
+    const bool second = llsc.store_conditional(ctx, 2);  // op 5: sc #2
+    log.push_back({ctx.incarnation(), first, second});
+  };
+  env.add_process(body, body);
+  FaultPlan plan;
+  plan.restart_before_op(0, 2).fail_sc(0, 1);
+  RoundRobinScheduler scheduler;
+  const sim::RunReport report = env.run(scheduler, plan);
+  EXPECT_EQ(report.outcomes[0], sim::ProcOutcome::kFinished);
+  EXPECT_EQ(report.restarts_by_pid[0], 1);
+  // Incarnation 0 succeeded at sc #0 and was unwound at its second LL; only
+  // incarnation 1 logged, eating the spurious failure at sc #1.
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].incarnation, 1);
+  EXPECT_FALSE(log[0].first);
+  EXPECT_TRUE(log[0].second);
+}
+
+TEST(SpuriousSc, RestartClearsAnInjectedPendingFailure) {
+  // Incremental mode: marking a parked SC spurious and then crash-restarting
+  // the process abandons the marked operation — the mark dies with the
+  // incarnation instead of leaking onto the fresh incarnation's first SC.
+  sim::SimEnv env;
+  sim::LlScRegisterK llsc("llsc", 4);
+  std::vector<std::pair<int, bool>> results;  // (incarnation, sc result)
+  const auto body = [&llsc, &results](sim::Ctx& ctx) {
+    llsc.load_link(ctx);
+    results.emplace_back(ctx.incarnation(), llsc.store_conditional(ctx, 1));
+  };
+  env.add_process(body, body);
+  env.start();
+  env.step_process(0);  // LL
+  ASSERT_TRUE(env.is_parked(0));
+  ASSERT_EQ(env.pending_of(0).op, "sc");
+  env.inject_sc_failure(0);
+  env.restart_process(0);  // the marked SC is abandoned, never performed
+  env.step_process(0);     // fresh incarnation's LL
+  ASSERT_EQ(env.pending_of(0).op, "sc");
+  env.step_process(0);
+  env.finish();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].first, 1);
+  EXPECT_TRUE(results[0].second);  // the stale mark must not have fired here
+  EXPECT_EQ(env.snapshot_report().restarts_by_pid[0], 1);
+}
+
 TEST(SpuriousSc, LlScElectionToleratesOneSpuriousFailurePerProcess) {
   const int k = 4;
   const int n = 6;

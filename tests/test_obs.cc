@@ -269,6 +269,47 @@ TEST(RunReport, ValidatorRejectsNonIntegerStats) {
   EXPECT_FALSE(validate_runreport(json::Value(root).dump(1)).empty());
 }
 
+TEST(RunReport, ValidatorAcceptsServiceStatFamily) {
+  auto root = json::Value::parse(sample_report().to_json())->as_object();
+  auto& stats = root["stats"].as_object();
+  stats["service.leases_acquired"] = json::Value(std::uint64_t{5});
+  stats["service.retries"] = json::Value(std::uint64_t{2});
+  stats["service.step_downs"] = json::Value(std::uint64_t{4});
+  stats["service.takeovers"] = json::Value(std::uint64_t{1});
+  stats["service.actions"] = json::Value(std::uint64_t{9});
+  const auto errors = validate_runreport(json::Value(root).dump(1));
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors[0]);
+}
+
+TEST(RunReport, ValidatorRejectsUnknownServiceStat) {
+  auto root = json::Value::parse(sample_report().to_json())->as_object();
+  auto& stats = root["stats"].as_object();
+  stats["service.leases_acquired"] = json::Value(std::uint64_t{1});
+  stats["service.retries"] = json::Value(std::uint64_t{0});
+  stats["service.step_downs"] = json::Value(std::uint64_t{1});
+  stats["service.lease_acquired"] = json::Value(std::uint64_t{1});  // typo
+  const auto errors = validate_runreport(json::Value(root).dump(1));
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("unknown service stat \"service.lease_acquired\""),
+            std::string::npos)
+      << errors[0];
+}
+
+TEST(RunReport, ValidatorRequiresServiceTrioWhenFamilyPresent) {
+  auto root = json::Value::parse(sample_report().to_json())->as_object();
+  root["stats"].as_object()["service.renewals"] = json::Value(std::uint64_t{3});
+  const auto errors = validate_runreport(json::Value(root).dump(1));
+  ASSERT_EQ(errors.size(), 3u);
+  for (const char* required :
+       {"service.leases_acquired", "service.retries", "service.step_downs"}) {
+    bool mentioned = false;
+    for (const std::string& error : errors) {
+      mentioned |= error.find(required) != std::string::npos;
+    }
+    EXPECT_TRUE(mentioned) << "no error mentions " << required;
+  }
+}
+
 // ------------------------------------------------------ explore passivity
 
 /// Byte-level equality of two ExploreResults, the same contract the

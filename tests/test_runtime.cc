@@ -353,6 +353,88 @@ TEST(CrashPlan, RandomPlanRespectsProbabilityEdges) {
   EXPECT_EQ(all.victim_count(), 20u);
 }
 
+TEST(VirtualTime, NowReadsZeroUntilATimerFires) {
+  SimEnv env;
+  std::vector<std::uint64_t> readings;
+  env.add_process([&](Ctx& ctx) {
+    readings.push_back(ctx.now());
+    readings.push_back(ctx.now());
+    readings.push_back(ctx.sleep_until(5));
+    readings.push_back(ctx.now());
+  });
+  RoundRobinScheduler sched;
+  const RunReport report = env.run(sched);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(readings, (std::vector<std::uint64_t>{0, 0, 5, 5}));
+  // Every clock access is an ordinary synced step on the "@clock" object.
+  EXPECT_EQ(report.total_steps, 4u);
+  const auto clock_events = env.trace().for_object("@clock");
+  ASSERT_EQ(clock_events.size(), 4u);
+  EXPECT_EQ(clock_events[0].desc.op, "read");
+  EXPECT_EQ(clock_events[2].desc.op, "timer");
+  EXPECT_EQ(clock_events[2].desc.arg0, 5);
+  EXPECT_TRUE(clock_events[2].has_result);
+  EXPECT_EQ(clock_events[2].result, 5);
+}
+
+TEST(VirtualTime, SleepUntilIsMonotoneFetchMax) {
+  SimEnv env;
+  std::vector<std::uint64_t> readings;
+  env.add_process([&](Ctx& ctx) {
+    readings.push_back(ctx.sleep_until(5));
+    // A deadline already in the past fires immediately without rewinding.
+    readings.push_back(ctx.sleep_until(3));
+    readings.push_back(ctx.sleep_until(10));
+  });
+  RoundRobinScheduler sched;
+  const RunReport report = env.run(sched);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(readings, (std::vector<std::uint64_t>{5, 5, 10}));
+  EXPECT_EQ(env.virtual_now(), 10u);
+}
+
+TEST(VirtualTime, TimerGrantIsVisibleToOtherProcesses) {
+  // p0 parks on a timer, p1 on a clock read; round-robin grants the timer
+  // first, so p1 observes the post-advance clock — the firing is a step
+  // like any other, ordered by the scheduler.
+  SimEnv env;
+  std::uint64_t p1_read = 0;
+  env.add_process([&](Ctx& ctx) { ctx.sleep_until(10); });
+  env.add_process([&](Ctx& ctx) { p1_read = ctx.now(); });
+  RoundRobinScheduler sched;
+  const RunReport report = env.run(sched);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(p1_read, 10u);
+}
+
+TEST(VirtualTime, RestartAbandonsParkedTimerWithoutFiringIt) {
+  // Crash-restarting a process parked on a timer must NOT advance the
+  // clock: the pending operation is abandoned, never performed.  The
+  // restarted incarnation re-parks on a fresh timer which fires normally.
+  SimEnv env(SimOptions{});
+  SwmrRegister<std::int64_t> done("done", 0, 0);
+  const auto body = [&](Ctx& ctx) {
+    const std::uint64_t woke = ctx.sleep_until(7);
+    done.write(ctx, static_cast<std::int64_t>(woke));
+  };
+  env.add_process(body, body);
+  env.start();
+  ASSERT_TRUE(env.is_parked(0));
+  EXPECT_EQ(env.pending_of(0).object, "@clock");
+  EXPECT_EQ(env.pending_of(0).op, "timer");
+  env.restart_process(0);
+  EXPECT_EQ(env.virtual_now(), 0u);  // the abandoned timer never fired
+  ASSERT_TRUE(env.is_parked(0));
+  EXPECT_EQ(env.pending_of(0).op, "timer");
+  env.step_process(0);  // the fresh incarnation's timer fires now
+  EXPECT_EQ(env.virtual_now(), 7u);
+  env.step_process(0);  // the write after the sleep
+  env.finish();
+  EXPECT_EQ(done.peek(), 7);
+  const RunReport report = env.snapshot_report();
+  EXPECT_EQ(report.restarts_by_pid[0], 1);
+}
+
 TEST(SwmrRegister, SecondWriterTrapped) {
   SimEnv env;
   SwmrRegister<int> reg("r", SwmrRegister<int>::kAnyWriter, 0);
