@@ -312,6 +312,184 @@ void print_steal_scaling_json(const std::vector<StealScaleRow>& rows,
   }
 }
 
+// ---------------------------------------------- fingerprint-prune fast path
+
+/// One (mode, jobs) cell of the fingerprint-prune before/after table.
+struct PruneRow {
+  std::string mode;  ///< "off" or "on"
+  int jobs = 1;
+  double seconds = 0;
+  std::uint64_t schedules = 0;       ///< schedules actually run
+  std::uint64_t covered = 0;         ///< schedules covered (== off baseline)
+  std::uint64_t prunes = 0;          ///< subtrees served from the cache
+  bool identical = true;             ///< vs the same-mode serial baseline
+  bool coverage_parity = true;       ///< violations + exhausted vs prune-off
+  bool passivity = true;             ///< audit+telemetry on == plain (on@1)
+};
+
+/// The iterative skewed workload where the visited-state cache bites: the
+/// Chess sweep re-explores every ≤b-preemption schedule at budget b+1, and
+/// once the short writers have finished only the long writer's linear tail
+/// remains — a cut-free subtree that caches clean and is served from the
+/// cache on every later revisit.
+ExploreOptions prune_workload_options(bool prune, int jobs, int steal_depth) {
+  ExploreOptions options;
+  options.use_por = false;
+  options.iterative = true;
+  options.preemption_bound = 4;
+  options.fingerprint_prune = prune;
+  options.jobs = jobs;
+  options.steal_depth = steal_depth;
+  return options;
+}
+
+/// Runs the before/after table: prune-off serial is the baseline; prune-on
+/// runs at 1/2/4/8 workers with byte-identity checked per cell against the
+/// prune-on serial run, coverage parity (identical violation tapes and
+/// exhausted flag) checked against the prune-off baseline, and audit+obs
+/// passivity asserted on the serial prune-on cell with the fast path
+/// engaged.  The "on" rows report *covered* schedules per second — the
+/// cache serves previously-explored subtrees, so the covered space is the
+/// baseline's, reached in less wall time.
+std::vector<PruneRow> run_prune_scaling(int steal_depth) {
+  bss::explore::SkewedWriterSystem system(4, 6, 1);
+
+  const auto run_cell = [&](bool prune, int jobs, bool with_observers) -> Row {
+    ExploreOptions options = prune_workload_options(prune, jobs, steal_depth);
+    bss::obs::Telemetry::Options obs_options;
+    obs_options.metrics = true;
+    obs_options.events = true;
+    bss::obs::Telemetry telemetry(obs_options);
+    if (with_observers) {
+      options.audit = true;
+      options.telemetry = &telemetry;
+    }
+    return timed_explore(prune ? "prune-on" : "prune-off", system, options);
+  };
+
+  const Row off = run_cell(false, 1, false);
+  const Row on_serial = run_cell(true, 1, false);
+  const Row on_observed = run_cell(true, 1, true);
+  const bool passivity =
+      results_match(on_serial.result, on_observed.result) &&
+      on_serial.result.stats.fingerprint_prunes ==
+          on_observed.result.stats.fingerprint_prunes;
+
+  const auto parity = [&](const ExploreResult& result) {
+    if (result.exhausted != off.result.exhausted ||
+        result.violations.size() != off.result.violations.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < result.violations.size(); ++i) {
+      if (result.violations[i].decisions != off.result.violations[i].decisions)
+        return false;
+    }
+    return true;
+  };
+
+  std::vector<PruneRow> rows;
+  PruneRow base;
+  base.mode = "off";
+  base.jobs = 1;
+  base.seconds = off.seconds;
+  base.schedules = off.result.stats.schedules;
+  base.covered = off.result.stats.schedules;
+  base.prunes = 0;
+  rows.push_back(std::move(base));
+
+  for (const int jobs : {1, 2, 4, 8}) {
+    const Row cell = jobs == 1 ? on_serial : run_cell(true, jobs, false);
+    PruneRow row;
+    row.mode = "on";
+    row.jobs = jobs;
+    row.seconds = cell.seconds;
+    row.schedules = cell.result.stats.schedules;
+    row.covered = off.result.stats.schedules;
+    row.prunes = cell.result.stats.fingerprint_prunes;
+    row.identical = results_match(cell.result, on_serial.result) &&
+                    cell.result.summary() == on_serial.result.summary();
+    row.coverage_parity = parity(cell.result);
+    row.passivity = passivity;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// Refutation parity under pruning: the collect-all mutant workload run
+/// iteratively with the cache off and on must find the IDENTICAL violation
+/// tapes — a subtree only enters the cache after being fully explored
+/// violation-free, so no refutation can hide behind a prune.
+bool run_prune_refutation_parity(int steal_depth) {
+  bss::explore::OneShotSystem mutant(4, 3,
+                                     bss::core::OneShotMutant::kClaimAfterCas);
+  std::vector<ExploreResult> results;
+  for (const bool prune : {false, true}) {
+    ExploreOptions options = prune_workload_options(prune, 1, steal_depth);
+    options.preemption_bound = 1;
+    options.stop_at_first_violation = false;
+    options.max_violations = std::size_t{1} << 20;
+    options.minimize = false;
+    results.push_back(bss::explore::explore(mutant, options));
+  }
+  if (results[0].violations.size() != results[1].violations.size() ||
+      results[0].exhausted != results[1].exhausted) {
+    return false;
+  }
+  for (std::size_t i = 0; i < results[0].violations.size(); ++i) {
+    if (results[0].violations[i].decisions !=
+        results[1].violations[i].decisions) {
+      return false;
+    }
+  }
+  return !results[0].violations.empty();
+}
+
+double prune_rate_of(const PruneRow& row) {
+  return row.seconds > 0 ? static_cast<double>(row.covered) / row.seconds : 0;
+}
+
+void print_prune_table(const std::vector<PruneRow>& rows,
+                       bool refutation_parity) {
+  std::printf("\n%-24s %5s %5s %9s %8s %10s %8s %5s %7s\n",
+              "workload", "prune", "jobs", "schedules", "prunes",
+              "cov-sched/s", "speedup", "ident", "parity");
+  const double base_rate = prune_rate_of(rows[0]);
+  for (const PruneRow& row : rows) {
+    const double rate = prune_rate_of(row);
+    std::printf("%-24s %5s %5d %9llu %8llu %10.0f %7.2fx %5s %7s\n",
+                "skewed-iterative", row.mode.c_str(), row.jobs,
+                static_cast<unsigned long long>(row.schedules),
+                static_cast<unsigned long long>(row.prunes), rate,
+                base_rate > 0 ? rate / base_rate : 0,
+                row.identical ? "yes" : "NO",
+                row.coverage_parity ? "yes" : "NO");
+  }
+  std::printf("  mutant refutation parity under pruning: %s\n",
+              refutation_parity ? "identical tapes" : "DIVERGED");
+}
+
+void print_prune_json(const std::vector<PruneRow>& rows,
+                      bool refutation_parity, bool more) {
+  const double base_rate = prune_rate_of(rows[0]);
+  for (const PruneRow& row : rows) {
+    const double rate = prune_rate_of(row);
+    std::printf(
+        "  {\"workload\": \"skewed-iterative\", \"prune\": \"%s\", "
+        "\"jobs\": %d, \"schedules\": %llu, \"prunes\": %llu, "
+        "\"covered_schedules_per_sec\": %.0f, \"speedup\": %.2f, "
+        "\"identical\": %s, \"coverage_parity\": %s, \"passivity\": %s},\n",
+        row.mode.c_str(), row.jobs,
+        static_cast<unsigned long long>(row.schedules),
+        static_cast<unsigned long long>(row.prunes), rate,
+        base_rate > 0 ? rate / base_rate : 0,
+        row.identical ? "true" : "false",
+        row.coverage_parity ? "true" : "false",
+        row.passivity ? "true" : "false");
+  }
+  std::printf("  {\"workload\": \"mutant-prune-parity\", \"identical\": %s}%s\n",
+              refutation_parity ? "true" : "false", more ? "," : "");
+}
+
 // --------------------------------------------------- telemetry overhead
 
 /// One observability configuration of the refutation workload.
@@ -323,9 +501,12 @@ struct OverheadRow {
 };
 
 /// Runs the mutant-refutation workload under telemetry off / metrics-only /
-/// metrics+events and cross-checks that stats, coverage and every violation
-/// tape are byte-identical — the ObsSink passivity contract, asserted on
-/// the benchmark workload itself.
+/// metrics+events / fully-audited and cross-checks that stats, coverage and
+/// every violation tape are byte-identical — the ObsSink (and audit)
+/// passivity contract, asserted on the benchmark workload itself.  The
+/// "off" row is the replay fast path (no token stamping, no sink dispatch);
+/// "audited" is the slow path with every schedule commute-cross-checked,
+/// and the off/audited rate ratio is the fast path's before/after headline.
 std::vector<OverheadRow> run_overhead(int jobs) {
   bss::explore::OneShotSystem claim_after(
       4, 3, bss::core::OneShotMutant::kClaimAfterCas);
@@ -336,24 +517,39 @@ std::vector<OverheadRow> run_overhead(int jobs) {
 
   std::vector<OverheadRow> rows;
   std::vector<ExploreResult> baseline;
-  for (const char* mode : {"off", "metrics", "metrics+events"}) {
+  for (const char* mode : {"off", "metrics", "metrics+events", "audited"}) {
     bss::obs::Telemetry::Options obs_options;
     obs_options.metrics = std::string(mode) != "off";
-    obs_options.events = std::string(mode) == "metrics+events";
+    obs_options.events = std::string(mode) == "metrics+events" ||
+                         std::string(mode) == "audited";
     bss::obs::Telemetry telemetry(obs_options);
 
     OverheadRow row;
     row.mode = mode;
-    const auto start = std::chrono::steady_clock::now();
+    // Min-of-3: the off/audited time ratio gates the bench's exit status,
+    // and on a time-sliced container a single-shot measurement of either
+    // side swings enough to flip the verdict.  The minimum is the
+    // least-contended estimate for both sides; results are byte-identical
+    // across repeats (determinism), so only the clock varies.
     std::vector<ExploreResult> results;
-    for (const ExplorableSystem* system : mutants) {
-      ExploreOptions options = refutation_options(jobs);
-      if (std::string(mode) != "off") options.telemetry = &telemetry;
-      results.push_back(bss::explore::explore(*system, options));
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<ExploreResult> pass;
+      for (const ExplorableSystem* system : mutants) {
+        ExploreOptions options = refutation_options(jobs);
+        if (std::string(mode) != "off") options.telemetry = &telemetry;
+        if (std::string(mode) == "audited") {
+          options.audit = true;
+          options.audit_commute_sample = 1;
+        }
+        pass.push_back(bss::explore::explore(*system, options));
+      }
+      const double seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      if (repeat == 0 || seconds < row.seconds) row.seconds = seconds;
+      results = std::move(pass);
     }
-    row.seconds = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - start)
-                      .count();
     for (std::size_t i = 0; i < results.size(); ++i) {
       row.schedules += results[i].stats.schedules;
       if (!baseline.empty() &&
@@ -435,8 +631,13 @@ const std::vector<std::string> kCampaigns = {"skewed", "mutant"};
 /// resumes.  "skewed" is a clean six-figure-schedule sweep; "mutant" is a
 /// collect-all refutation whose checkpoints carry violations.
 int run_campaign(const bss::bench::BenchFlags& flags) {
+  // Constructed BEFORE the exploration so the report's wall clock covers
+  // the campaign itself — otherwise schedules/second divides by only the
+  // report-assembly time and the headline is garbage.
+  bss::bench::BenchReport report(flags, "bench_explore");
   ExploreOptions options;
   options.jobs = flags.jobs;
+  options.steal_depth = flags.steal_depth;
   options.checkpoint_path = flags.checkpoint;
   if (flags.checkpoint_every > 0) {
     options.checkpoint_every = flags.checkpoint_every;
@@ -464,7 +665,6 @@ int run_campaign(const bss::bench::BenchFlags& flags) {
     return 2;
   }
 
-  bss::bench::BenchReport report(flags, "bench_explore");
   note_valve_exception(report);
   report.builder().environment("campaign",
                                bss::obs::json::Value(flags.campaign));
@@ -484,6 +684,7 @@ int run_campaign(const bss::bench::BenchFlags& flags) {
       bss::obs::json::Value(row.result.checkpoints_written));
   object.emplace("seconds", bss::obs::json::Value(row.seconds));
   report.row(std::move(object));
+  report.schedules(row.result.stats.schedules);
 
   if (flags.json) {
     std::printf("[\n");
@@ -507,6 +708,9 @@ int main(int argc, char** argv) {
       argc, argv, /*accepts_jobs=*/true, /*accepts_json=*/true,
       /*accepts_checkpoint=*/true, kCampaigns);
   if (!flags.campaign.empty()) return run_campaign(flags);
+  // Constructed before any exploration: the report's wall clock must span
+  // the actual work or the schedules/second headline is meaningless.
+  bss::bench::BenchReport report(flags, "bench_explore");
   std::vector<Row> rows;
 
   {
@@ -536,6 +740,9 @@ int main(int argc, char** argv) {
 
   const std::vector<ScaleRow> scaling = run_scaling(flags.jobs);
   const std::vector<StealScaleRow> steal_scaling = run_steal_scaling();
+  const std::vector<PruneRow> prune_rows = run_prune_scaling(flags.steal_depth);
+  const bool prune_refutation_parity =
+      run_prune_refutation_parity(flags.steal_depth);
   const std::vector<OverheadRow> overhead = run_overhead(flags.jobs);
   const std::uint64_t divergences = artifact_replay_divergences(flags.jobs);
   bool telemetry_passive = true;
@@ -546,8 +753,30 @@ int main(int argc, char** argv) {
   for (const StealScaleRow& row : steal_scaling) {
     steal_identical &= row.identical;
   }
+  // The fast-path gate: >= 2x schedules/second on at least one workload —
+  // either a prune-table cell against the prune-off serial baseline, or the
+  // replay fast path (observers off) against the fully-audited slow path on
+  // the refutation workload — with byte-identity, coverage parity and
+  // observer passivity intact on EVERY cell.  A speedup that costs
+  // determinism or coverage is a bug, not a feature.
+  const double prune_base_rate = prune_rate_of(prune_rows[0]);
+  double fastpath_speedup = 0;
+  bool prune_sound = prune_refutation_parity;
+  for (const PruneRow& row : prune_rows) {
+    const double speedup =
+        prune_base_rate > 0 ? prune_rate_of(row) / prune_base_rate : 0;
+    if (speedup > fastpath_speedup) fastpath_speedup = speedup;
+    prune_sound &= row.identical && row.coverage_parity && row.passivity;
+  }
+  for (const OverheadRow& row : overhead) {
+    if (row.mode == "audited" && row.seconds > 0 &&
+        overhead.front().seconds > 0) {
+      // Same schedules either way, so the rate ratio is the time ratio.
+      const double ratio = row.seconds / overhead.front().seconds;
+      if (ratio > fastpath_speedup) fastpath_speedup = ratio;
+    }
+  }
 
-  bss::bench::BenchReport report(flags, "bench_explore");
   note_valve_exception(report);
   for (const Row& row : rows) {
     bss::obs::json::Object object;
@@ -583,6 +812,20 @@ int main(int argc, char** argv) {
     object.emplace("identical", bss::obs::json::Value(row.identical));
     report.row(std::move(object));
   }
+  for (const PruneRow& row : prune_rows) {
+    bss::obs::json::Object object;
+    object.emplace("workload",
+                   bss::obs::json::Value(std::string("skewed-iterative")));
+    object.emplace("prune", bss::obs::json::Value(row.mode));
+    object.emplace("jobs", bss::obs::json::Value(row.jobs));
+    object.emplace("schedules", bss::obs::json::Value(row.schedules));
+    object.emplace("fingerprint_prunes", bss::obs::json::Value(row.prunes));
+    object.emplace("seconds", bss::obs::json::Value(row.seconds));
+    object.emplace("identical", bss::obs::json::Value(row.identical));
+    object.emplace("coverage_parity",
+                   bss::obs::json::Value(row.coverage_parity));
+    report.row(std::move(object));
+  }
   for (const OverheadRow& row : overhead) {
     bss::obs::json::Object object;
     object.emplace("workload",
@@ -596,13 +839,28 @@ int main(int argc, char** argv) {
   report.builder().stat("artifact_replay_divergences", divergences);
   report.builder().stat("telemetry_passive", telemetry_passive ? 1 : 0);
   report.builder().stat("steal_identical", steal_identical ? 1 : 0);
+  report.builder().stat("prune_sound", prune_sound ? 1 : 0);
+  report.builder().timing(
+      "fastpath_speedup",
+      bss::obs::json::Value(fastpath_speedup >= 0 ? fastpath_speedup : 0.0));
+  std::uint64_t total_schedules = 0;
+  for (const Row& row : rows) total_schedules += row.result.stats.schedules;
+  for (const ScaleRow& row : scaling) total_schedules += row.schedules;
+  for (const StealScaleRow& row : steal_scaling) {
+    total_schedules += row.schedules;
+  }
+  for (const PruneRow& row : prune_rows) total_schedules += row.schedules;
+  for (const OverheadRow& row : overhead) total_schedules += row.schedules;
+  report.schedules(total_schedules);
 
-  const bool ok = divergences == 0 && telemetry_passive && steal_identical;
+  const bool ok = divergences == 0 && telemetry_passive && steal_identical &&
+                  prune_sound && fastpath_speedup >= 2.0;
   if (flags.json) {
     std::printf("[\n");
     print_json(rows, /*more=*/true);
     print_scaling_json(scaling, /*more=*/true);
     print_steal_scaling_json(steal_scaling, /*more=*/true);
+    print_prune_json(prune_rows, prune_refutation_parity, /*more=*/true);
     print_overhead_json(overhead, /*more=*/true);
     std::printf("  {\"workload\": \"artifact-replay\", \"jobs\": %d, "
                 "\"divergences\": %llu}\n",
@@ -620,7 +878,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(rows[1].result.stats.schedules));
   print_scaling_table(scaling);
   print_steal_scaling_table(steal_scaling);
+  print_prune_table(prune_rows, prune_refutation_parity);
+  std::printf("  fast-path speedup (best cell vs prune-off serial): %.2fx%s\n",
+              fastpath_speedup, fastpath_speedup >= 2.0 ? "" : " (BELOW 2x)");
   print_overhead_table(overhead);
+  if (!prune_sound) {
+    std::printf("FATAL: fingerprint pruning changed results, lost coverage "
+                "or broke observer passivity\n");
+  }
   if (!telemetry_passive) {
     std::printf("FATAL: telemetry changed exploration results (ObsSink "
                 "passivity violated)\n");

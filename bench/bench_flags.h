@@ -27,6 +27,8 @@ inline std::string campaign_list(const std::vector<std::string>& campaigns) {
 struct BenchFlags {
   bool json = false;  ///< machine-readable output instead of the table
   int jobs = 1;       ///< explorer worker threads (ExploreOptions::jobs)
+  int steal_depth = 0;  ///< steal granularity (ExploreOptions::steal_depth;
+                        ///< 0 keeps the explorer default)
   /// When non-empty, a `bss-runreport v1` document is also written to this
   /// path (stdout keeps the table / --json rows either way).
   std::string out;
@@ -44,7 +46,7 @@ inline void print_usage(const char* program, bool accepts_jobs,
                         const std::vector<std::string>& campaigns = {}) {
   std::fprintf(stderr, "usage: %s%s%s [--out PATH]%s\n", program,
                accepts_json ? " [--json]" : "",
-               accepts_jobs ? " [--jobs N]" : "",
+               accepts_jobs ? " [--jobs N] [--steal-depth N]" : "",
                accepts_checkpoint
                    ? " [--campaign NAME] [--checkpoint PATH]"
                      " [--checkpoint-every N] [--resume PATH]"
@@ -54,8 +56,12 @@ inline void print_usage(const char* program, bool accepts_jobs,
   }
   if (accepts_jobs) {
     std::fprintf(stderr,
-                 "  --jobs N   explorer worker threads (default 1; results "
-                 "are identical for every N)\n");
+                 "  --jobs N   explorer worker threads (1..64, default 1; "
+                 "results are identical for every N)\n");
+    std::fprintf(stderr,
+                 "  --steal-depth N  steal granularity in frames (0..64, "
+                 "default 0 = explorer default; results are identical for "
+                 "every N)\n");
   }
   std::fprintf(stderr,
                "  --out PATH write a bss-runreport v1 artifact to PATH "
@@ -95,11 +101,19 @@ inline BenchFlags parse_flags(int argc, char** argv, bool accepts_jobs,
                 campaigns);
     std::exit(2);
   };
-  const auto parse_jobs = [&](const char* value) {
+  // Range errors name the flag, the offending value and the valid range
+  // (the --campaign error style): "--jobs 0" used to die with only the
+  // generic usage block, which never said what WOULD have been accepted.
+  const auto parse_ranged_int = [&](const char* name, const char* value,
+                                    long lo, long hi, int* into) {
     char* end = nullptr;
     const long parsed = std::strtol(value, &end, 10);
-    if (end == value || *end != '\0' || parsed < 1 || parsed > 64) fail();
-    flags.jobs = static_cast<int>(parsed);
+    if (end == value || *end != '\0' || parsed < lo || parsed > hi) {
+      std::fprintf(stderr, "%s: invalid %s '%s' (valid: %ld..%ld)\n", argv[0],
+                   name, value, lo, hi);
+      fail();
+    }
+    *into = static_cast<int>(parsed);
   };
   const auto parse_string = [&](const char* value, std::string* into) {
     if (value[0] == '\0') fail();
@@ -132,7 +146,10 @@ inline BenchFlags parse_flags(int argc, char** argv, bool accepts_jobs,
                   campaigns);
       std::exit(0);
     } else if (accepts_jobs && (value = value_of(arg, "--jobs", &i))) {
-      parse_jobs(value);
+      parse_ranged_int("--jobs", value, 1, 64, &flags.jobs);
+    } else if (accepts_jobs &&
+               (value = value_of(arg, "--steal-depth", &i))) {
+      parse_ranged_int("--steal-depth", value, 0, 64, &flags.steal_depth);
     } else if ((value = value_of(arg, "--out", &i))) {
       parse_string(value, &flags.out);
     } else if (accepts_checkpoint &&

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -33,6 +34,10 @@ class BenchReport {
   /// One table row as a JSON object (same fields as the --json output).
   void row(obs::json::Object row) { builder_.row(std::move(row)); }
 
+  /// Accumulates schedules executed across the bench's cells; finalize()
+  /// turns the total into the timing channel's schedules/second headline.
+  void schedules(std::uint64_t count) { schedules_ += count; }
+
   /// Writes the report to --out (no-op without the flag).  Call once, after
   /// the last row; exits nonzero on I/O failure so CI catches a bad path.
   void finalize() {
@@ -41,6 +46,11 @@ class BenchReport {
                              .count();
     builder_.timing("wall_ns",
                     obs::json::Value(static_cast<std::uint64_t>(wall_ns)));
+    if (schedules_ > 0 && wall_ns > 0) {
+      builder_.timing("schedules_per_second",
+                      obs::json::Value(static_cast<double>(schedules_) * 1e9 /
+                                       static_cast<double>(wall_ns)));
+    }
     if (out_.empty()) return;
     if (!obs::write_file(out_, builder_.to_json())) {
       std::fprintf(stderr, "FATAL: cannot write runreport to '%s'\n",
@@ -53,6 +63,7 @@ class BenchReport {
   std::string out_;
   obs::ReportBuilder builder_;
   std::chrono::steady_clock::time_point wall_begin_;
+  std::uint64_t schedules_ = 0;
 };
 
 }  // namespace bss::bench

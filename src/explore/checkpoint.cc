@@ -15,6 +15,28 @@ namespace {
 
 // ------------------------------------------------------------- serialization
 
+/// 128-bit cache keys serialize as 32 lowercase hex chars (lo then hi) —
+/// fixed width keeps the artifact canonical and the parser strict.
+std::string fp_key_to_hex(std::uint64_t lo, std::uint64_t hi) {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(lo),
+                static_cast<unsigned long long>(hi));
+  return std::string(buf);
+}
+
+json::Value fp_partials_to_json(
+    const std::vector<FingerprintPartial>& partials) {
+  json::Array array;
+  for (const FingerprintPartial& partial : partials) {
+    json::Array pair;
+    pair.emplace_back(fp_key_to_hex(partial.lo, partial.hi));
+    pair.emplace_back(partial.dirty);
+    array.emplace_back(std::move(pair));
+  }
+  return json::Value(std::move(array));
+}
+
 json::Value stats_to_json(const ExploreStats& stats) {
   json::Object object;
   object.emplace("schedules", json::Value(stats.schedules));
@@ -28,6 +50,12 @@ json::Value stats_to_json(const ExploreStats& stats) {
   object.emplace("shrink_budget_hits", json::Value(stats.shrink_budget_hits));
   object.emplace("fault_prunes", json::Value(stats.fault_prunes));
   object.emplace("faults_injected", json::Value(stats.faults_injected));
+  // Omitted when zero so prune-off artifacts keep their historical byte
+  // shape; parses back as zero either way.
+  if (stats.fingerprint_prunes > 0) {
+    object.emplace("fingerprint_prunes",
+                   json::Value(stats.fingerprint_prunes));
+  }
   object.emplace("fault_points", json::Value(stats.fault_points));
   return json::Value(std::move(object));
 }
@@ -85,6 +113,11 @@ json::Value options_to_json(const CheckpointOptions& options) {
   object.emplace("audit_commute_sample",
                  json::Value(static_cast<std::uint64_t>(
                      options.audit_commute_sample)));
+  // Serialized only when set, so prune-off artifacts keep their historical
+  // byte shape (and old artifacts parse as fingerprint_prune == false).
+  if (options.fingerprint_prune) {
+    object.emplace("fingerprint_prune", json::Value(true));
+  }
   return json::Value(std::move(object));
 }
 
@@ -99,6 +132,9 @@ json::Value unit_to_json(const CheckpointUnit& unit) {
       done.emplace_back(action_token(decision));
     }
     frame_object.emplace("done", json::Value(std::move(done)));
+    // Omitted when clean (and always on prune-off campaigns, where it
+    // never sets) — historical frame shape preserved.
+    if (frame.fp_dirty) frame_object.emplace("fp_dirty", json::Value(true));
     frames.emplace_back(std::move(frame_object));
   }
   object.emplace("frames", json::Value(std::move(frames)));
@@ -127,6 +163,9 @@ json::Value unit_to_json(const CheckpointUnit& unit) {
   object.emplace("fault_limited", json::Value(unit.fault_limited));
   object.emplace("cap_hit", json::Value(unit.cap_hit));
   object.emplace("stopped", json::Value(unit.stopped));
+  if (!unit.fp_partials.empty()) {
+    object.emplace("fp_partials", fp_partials_to_json(unit.fp_partials));
+  }
   return json::Value(std::move(object));
 }
 
@@ -137,22 +176,36 @@ json::Value unit_to_json(const CheckpointUnit& unit) {
 // type/range violations throw InvariantError with the offending location —
 // from_artifact catches and surfaces them as one-line errors.
 
+/// Every `required` key must be present; `optional` keys may be absent
+/// (how fingerprint-prune fields extend the schema without invalidating
+/// pre-existing artifacts); anything else rejects.
 void check_keys(const json::Object& object,
-                std::initializer_list<const char*> keys, const char* where) {
-  for (const char* key : keys) {
+                std::initializer_list<const char*> required,
+                std::initializer_list<const char*> optional,
+                const char* where) {
+  for (const char* key : required) {
     expects(object.count(key) != 0,
             std::string(where) + ": missing required key '" + key + "'");
   }
   for (const auto& [key, value] : object) {
     bool known = false;
-    for (const char* candidate : keys) {
+    for (const char* candidate : required) {
       if (key == candidate) {
         known = true;
         break;
       }
     }
+    for (const char* candidate : optional) {
+      if (known) break;
+      if (key == candidate) known = true;
+    }
     expects(known, std::string(where) + ": unknown key '" + key + "'");
   }
+}
+
+void check_keys(const json::Object& object,
+                std::initializer_list<const char*> keys, const char* where) {
+  check_keys(object, keys, {}, where);
 }
 
 const json::Object& get_object(const json::Object& object,
@@ -205,6 +258,66 @@ const std::string& get_string(const json::Object& object,
   return it->second.as_string();
 }
 
+std::uint64_t get_u64_or(const json::Object& object, const std::string& key,
+                         std::uint64_t fallback, const char* where) {
+  if (object.count(key) == 0) return fallback;
+  return get_u64(object, key, where);
+}
+
+bool get_bool_or(const json::Object& object, const std::string& key,
+                 bool fallback, const char* where) {
+  if (object.count(key) == 0) return fallback;
+  return get_bool(object, key, where);
+}
+
+/// Parses a 32-hex-char cache key back into its (lo, hi) halves; anything
+/// but exactly 32 lowercase hex digits rejects.
+std::pair<std::uint64_t, std::uint64_t> parse_fp_key(const std::string& text,
+                                                     const char* where) {
+  expects(text.size() == 32,
+          std::string(where) + ": cache key must be 32 hex chars");
+  std::uint64_t halves[2] = {0, 0};
+  for (std::size_t i = 0; i < 32; ++i) {
+    const char c = text[i];
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      expects(false, std::string(where) +
+                         ": cache key must be lowercase hex");
+    }
+    halves[i / 16] = (halves[i / 16] << 4) | digit;
+  }
+  return {halves[0], halves[1]};
+}
+
+std::vector<FingerprintPartial> parse_fp_partials(const json::Object& parent,
+                                                  const std::string& key,
+                                                  const char* where) {
+  std::vector<FingerprintPartial> partials;
+  if (parent.count(key) == 0) return partials;  // pre-prune artifacts
+  for (const json::Value& entry : get_array(parent, key, where)) {
+    expects(entry.is_array() && entry.as_array().size() == 2,
+            std::string(where) +
+                ": fp partial must be a [key, dirty] pair");
+    const json::Value& key_value = entry.as_array()[0];
+    expects(key_value.is_string(),
+            std::string(where) + ": fp partial key must be a string");
+    const auto [lo, hi] = parse_fp_key(key_value.as_string(), where);
+    const json::Value& dirty = entry.as_array()[1];
+    expects(dirty.is_bool(),
+            std::string(where) + ": fp partial dirty must be a boolean");
+    FingerprintPartial partial;
+    partial.lo = lo;
+    partial.hi = hi;
+    partial.dirty = dirty.as_bool();
+    partials.push_back(partial);
+  }
+  return partials;
+}
+
 /// Decision tokens go through the shared parser plus the process-count
 /// range check — an out-of-range pid in a checkpoint must reject exactly
 /// like one in a counterexample artifact.
@@ -232,7 +345,7 @@ ExploreStats parse_stats(const json::Object& parent, const std::string& key,
               "preemption_prunes", "truncated", "max_depth_seen",
               "shrink_runs", "shrink_budget_hits", "fault_prunes",
               "faults_injected", "fault_points"},
-             where);
+             {"fingerprint_prunes"}, where);
   ExploreStats stats;
   stats.schedules = get_u64(object, "schedules", where);
   stats.transitions = get_u64(object, "transitions", where);
@@ -245,6 +358,8 @@ ExploreStats parse_stats(const json::Object& parent, const std::string& key,
   stats.shrink_budget_hits = get_u64(object, "shrink_budget_hits", where);
   stats.fault_prunes = get_u64(object, "fault_prunes", where);
   stats.faults_injected = get_u64(object, "faults_injected", where);
+  stats.fingerprint_prunes =
+      get_u64_or(object, "fingerprint_prunes", 0, where);
   stats.fault_points = get_u64(object, "fault_points", where);
   return stats;
 }
@@ -303,7 +418,7 @@ CheckpointOptions parse_options(const json::Object& parent,
               "minimize", "shrink_budget", "record_trace", "fault_bound",
               "explore_crashes", "explore_restarts", "explore_sc_failures",
               "audit", "audit_commute_sample"},
-             where);
+             {"fingerprint_prune"}, where);
   CheckpointOptions options;
   options.max_depth = get_u64(object, "max_depth", where);
   options.preemption_bound = get_int(object, "preemption_bound", where);
@@ -324,6 +439,8 @@ CheckpointOptions parse_options(const json::Object& parent,
   options.audit = get_bool(object, "audit", where);
   options.audit_commute_sample = checked_cast<std::uint32_t>(
       get_u64(object, "audit_commute_sample", where));
+  options.fingerprint_prune =
+      get_bool_or(object, "fingerprint_prune", false, where);
   return options;
 }
 
@@ -357,12 +474,13 @@ CheckpointUnit parse_unit(const json::Value& value, const std::string& system,
              {"frames", "floor", "complete", "stats", "audit", "fault_points",
               "violations", "budget_limited", "fault_limited", "cap_hit",
               "stopped"},
-             where);
+             {"fp_partials"}, where);
   CheckpointUnit unit;
   for (const json::Value& frame_value : get_array(object, "frames", where)) {
     expects(frame_value.is_object(), "frontier frames must be objects");
     const json::Object& frame_object = frame_value.as_object();
-    check_keys(frame_object, {"chosen", "done"}, "frontier frame");
+    check_keys(frame_object, {"chosen", "done"}, {"fp_dirty"},
+               "frontier frame");
     CheckpointFrame frame;
     const auto chosen = frame_object.find("chosen");
     frame.chosen =
@@ -372,6 +490,8 @@ CheckpointUnit parse_unit(const json::Value& value, const std::string& system,
       frame.done.push_back(
           parse_decision(done, processes, "frontier frame done"));
     }
+    frame.fp_dirty =
+        get_bool_or(frame_object, "fp_dirty", false, "frontier frame");
     unit.frames.push_back(std::move(frame));
   }
   unit.floor = get_u64(object, "floor", where);
@@ -413,6 +533,7 @@ CheckpointUnit parse_unit(const json::Value& value, const std::string& system,
   unit.fault_limited = get_bool(object, "fault_limited", where);
   unit.cap_hit = get_bool(object, "cap_hit", where);
   unit.stopped = get_bool(object, "stopped", where);
+  unit.fp_partials = parse_fp_partials(object, "fp_partials", where);
   return unit;
 }
 
@@ -436,6 +557,7 @@ CheckpointOptions CheckpointOptions::key_of(const ExploreOptions& options) {
   key.explore_sc_failures = options.explore_sc_failures;
   key.audit = options.audit;
   key.audit_commute_sample = options.audit_commute_sample;
+  key.fingerprint_prune = options.fingerprint_prune;
   return key;
 }
 
@@ -472,6 +594,16 @@ std::string Checkpoint::to_artifact() const {
     frontier_array.emplace_back(unit_to_json(unit));
   }
   root.emplace("frontier", json::Value(std::move(frontier_array)));
+  if (!fp_cache.empty()) {
+    json::Array cache;
+    for (const auto& [lo, hi] : fp_cache) {
+      cache.emplace_back(fp_key_to_hex(lo, hi));
+    }
+    root.emplace("fp_cache", json::Value(std::move(cache)));
+  }
+  if (!fp_partials.empty()) {
+    root.emplace("fp_partials", fp_partials_to_json(fp_partials));
+  }
   return json::Value(std::move(root)).dump(2) + "\n";
 }
 
@@ -497,7 +629,7 @@ std::optional<Checkpoint> Checkpoint::from_artifact(const std::string& text,
                {"schema", "seq", "system", "processes", "options", "complete",
                 "exhausted", "progress", "stats", "audit", "violations",
                 "fault_points", "frontier"},
-               "checkpoint");
+               {"fp_cache", "fp_partials"}, "checkpoint");
     Checkpoint checkpoint;
     checkpoint.seq = get_u64(object, "seq", "checkpoint");
     checkpoint.system = get_string(object, "system", "checkpoint");
@@ -541,6 +673,17 @@ std::optional<Checkpoint> Checkpoint::from_artifact(const std::string& text,
       checkpoint.frontier.push_back(
           parse_unit(value, checkpoint.system, checkpoint.processes));
     }
+    if (object.count("fp_cache") != 0) {
+      for (const json::Value& value :
+           get_array(object, "fp_cache", "checkpoint")) {
+        expects(value.is_string(),
+                "checkpoint: fp_cache entries must be strings");
+        checkpoint.fp_cache.push_back(
+            parse_fp_key(value.as_string(), "checkpoint fp_cache"));
+      }
+    }
+    checkpoint.fp_partials =
+        parse_fp_partials(object, "fp_partials", "checkpoint");
     expects(!checkpoint.complete || checkpoint.frontier.empty(),
             "complete checkpoint still carries a frontier");
     return checkpoint;

@@ -62,6 +62,10 @@ struct CheckpointOptions {
   bool explore_sc_failures = false;
   bool audit = false;
   std::uint32_t audit_commute_sample = 0;
+  /// Result-affecting: pruned passes cover the same space but count
+  /// different stats, so half-pruned campaigns are not byte-identical to
+  /// anything.  Serialized only when true (old artifacts parse as false).
+  bool fingerprint_prune = false;
 
   /// Extracts the fingerprint (options.audit must already be resolved —
   /// explore() resolves BSS_AUDIT before checkpointing, so a resume under a
@@ -70,11 +74,28 @@ struct CheckpointOptions {
   bool operator==(const CheckpointOptions&) const = default;
 };
 
+/// One visited-state coverage partial (fingerprint_prune campaigns only):
+/// a 128-bit state-key hash plus whether the emitting unit saw anything
+/// incomplete (budget/fault cut, truncation, violation) in that node's
+/// subtree segment.  Partials aggregate per key with OR-of-dirty across all
+/// units of a pass — commutative and idempotent, so frame copies made by
+/// steal splits and shard prefixes need no reconciliation — and keys that
+/// aggregate clean enter the frozen cache for the NEXT pass.
+struct FingerprintPartial {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  bool dirty = false;
+};
+
 /// One DFS frame of a persisted unit: the decision taken on the current
 /// path and the sibling decisions already explored at this node.
+/// `fp_dirty` (fingerprint_prune campaigns only) carries the frame's
+/// coverage accumulator across a kill — the key itself is recomputed by the
+/// resume replay.
 struct CheckpointFrame {
   int chosen = 0;
   std::vector<int> done;
+  bool fp_dirty = false;
 };
 
 /// A violation recorded inside a not-yet-folded unit, with the snapshot of
@@ -104,6 +125,9 @@ struct CheckpointUnit {
   bool fault_limited = false;
   bool cap_hit = false;
   bool stopped = false;
+  /// Coverage partials the unit emitted before the snapshot
+  /// (fingerprint_prune campaigns only).
+  std::vector<FingerprintPartial> fp_partials;
 };
 
 struct Checkpoint {
@@ -131,6 +155,14 @@ struct Checkpoint {
   std::vector<Counterexample> violations;
   std::vector<std::pair<int, std::uint64_t>> fault_points;
   std::vector<CheckpointUnit> frontier;  ///< DFS order
+  // Visited-state cache state (fingerprint_prune campaigns only, so
+  // prune-off artifacts keep their historical shape): the cache frozen at
+  // the start of the in-progress pass, plus the partials already folded
+  // into the merged prefix.  Together with the per-unit/per-frame partials
+  // above they make a resumed campaign's between-pass cache fold — and so
+  // its pruning decisions — byte-identical to an uninterrupted run's.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> fp_cache;
+  std::vector<FingerprintPartial> fp_partials;
 
   /// Canonical JSON with a trailing newline; dump(parse(text)) is a fixed
   /// point, so round-trip tests assert byte equality.

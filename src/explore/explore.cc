@@ -9,6 +9,7 @@
 #include <fstream>
 #include <limits>
 #include <list>
+#include <map>
 #include <mutex>
 #include <set>
 #include <sstream>
@@ -43,6 +44,42 @@ constexpr std::uint64_t pid_bit(int pid) {
   return std::uint64_t{1} << static_cast<unsigned>(pid);
 }
 
+// ------------------------------------------------- visited-state cache keys
+//
+// The fingerprint-prune cache (ExploreOptions::fingerprint_prune) keys every
+// DFS node on a 128-bit hash of the instance fingerprint plus the
+// scheduler-visible SimEnv state.  The preemption/fault counters spent on
+// the way to a node are deliberately EXCLUDED: a node cleanly covered at one
+// budget is covered at every budget (clean == no budget ever cut below), so
+// cross-budget cache hits are exactly the point of the iterative sweep.
+
+/// 128-bit state key: two FNV-1a-64 streams over the same bytes, the second
+/// perturbed (different offset basis, bytes xor'd) so the pair behaves like
+/// independent hashes.  Collision soundness is validated empirically by the
+/// mutant sweep (a colliding prune on a mutant would lose its refutation).
+struct FpHash {
+  std::uint64_t h1 = 14695981039346656037ULL;
+  std::uint64_t h2 = 0x6c62272e07bb0142ULL;
+  void byte(unsigned char b) {
+    h1 = (h1 ^ b) * 1099511628211ULL;
+    h2 = (h2 ^ static_cast<unsigned char>(b ^ 0xa5U)) * 1099511628211ULL;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      byte(static_cast<unsigned char>(v & 0xffU));
+      v >>= 8U;
+    }
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    for (const char c : s) byte(static_cast<unsigned char>(c));
+  }
+};
+
+using FpKey = std::pair<std::uint64_t, std::uint64_t>;
+/// Frozen for the duration of a pass; read concurrently without locks.
+using FpCache = std::set<FpKey>;
+
 /// One node of the DFS tree: the scheduling state after `index` decisions
 /// (grants and faults alike).
 struct Frame {
@@ -57,6 +94,18 @@ struct Frame {
   int prev_grant = -1;                 ///< pid granted most recently before
   int preemptions_before = 0;          ///< preemptions in decisions 0..index-1
   int faults_before = 0;               ///< faults injected in 0..index-1
+  // Visited-state cache accumulator (fingerprint_prune only).  `fp_dirty`
+  // records whether anything incomplete happened in this node's subtree
+  // while the frame was open — a budget or fault cut, a truncation, a
+  // violation.  Every disqualifying event marks EVERY open frame, so by the
+  // DFS invariant (all execution happens inside every open frame's subtree)
+  // a frame's dirty bit is always a statement about its own subtree; unions
+  // of the bit across frame copies (steal splits, shard prefixes) therefore
+  // aggregate commutatively to exactly the serial walk's answer.
+  std::uint64_t fp_lo = 0;
+  std::uint64_t fp_hi = 0;
+  bool fp_valid = false;  ///< key computed (fingerprint non-empty)
+  bool fp_dirty = false;  ///< subtree coverage incomplete so far
 };
 
 bool contains(const std::vector<int>& values, int value) {
@@ -71,6 +120,10 @@ struct PassState {
   bool explore_crashes = false;
   bool explore_restarts = false;
   bool explore_sc = false;
+  /// Visited-state pruning: read `fp_cache` (frozen at pass start, never
+  /// written during a pass — lock-free shared reads) at every fresh frame.
+  bool fp_prune = false;
+  const FpCache* fp_cache = nullptr;
   /// Subtree floor: advance() never backtracks below this many frames.  0
   /// for the serial walk and the job enumerator; a worker exploring a
   /// sharded subtree sets it to its prefix length so the enumerator keeps
@@ -104,6 +157,11 @@ struct UnitResult {
   std::set<FaultPoint> fault_points;
   std::vector<Counterexample> violations;
   std::vector<UnitCheckpoint> checkpoints;  ///< parallel to `violations`
+  /// Visited-state coverage partials (fingerprint_prune only), emitted when
+  /// a keyed frame pops and for the still-open below-floor frames when the
+  /// unit drains.  Folded per key across all units between passes; dropped
+  /// wholesale on stop/cap (the campaign is over — the cache is dead).
+  std::vector<FingerprintPartial> fp_partials;
   bool budget_limited = false;  ///< a branch was cut by the preemption budget
   bool fault_limited = false;   ///< a branch was cut by the fault budget
   bool cap_hit = false;         ///< max_schedules fired before some run
@@ -223,12 +281,58 @@ int select_choice(const Frame& frame, const PassState& pass) {
   return kNoChoice;
 }
 
-/// Materializes the frontier node reached with `runnable` after `parent`
-/// took its chosen action (parent == nullptr at the root).
-Frame make_frame(const sim::SimEnv& env, std::vector<int> runnable,
+/// Per-worker allocation arena for the DFS inner loop: frames popped by
+/// advance() park here and make_frame reuses them, so the per-step vector
+/// and string capacities (runnable/pending/entry_sleep/done, the OpDesc
+/// object/op strings inside `pending`) circulate instead of being
+/// reallocated on every node.  Strictly an allocation cache — nothing in
+/// here influences an exploration decision.
+struct Scratch {
+  std::vector<Frame> spare;             ///< recycled frames, fields cleared
+  std::vector<int> runnable;            ///< per-step parked-set buffer
+  std::vector<int> actions;             ///< per-run decision-tape buffer
+  std::vector<FaultPoint> fault_points; ///< per-run fault-site buffer
+};
+
+/// Fills `scratch.runnable` with the parked pids (ascending), reusing the
+/// buffer's capacity instead of allocating per step.
+void fill_parked(const sim::SimEnv& env, std::vector<int>& runnable) {
+  runnable.clear();
+  for (int pid = 0; pid < env.process_count(); ++pid) {
+    if (env.is_parked(pid)) runnable.push_back(pid);
+  }
+}
+
+/// Pulls a recycled frame from the arena (or default-constructs one): all
+/// fields reset, vector/string capacities preserved.
+Frame take_frame(Scratch& scratch) {
+  if (scratch.spare.empty()) return Frame{};
+  Frame frame = std::move(scratch.spare.back());
+  scratch.spare.pop_back();
+  frame.runnable.clear();
+  frame.restartable = 0;
+  frame.sc_ready = 0;
+  frame.sc_failed_before = 0;
+  frame.entry_sleep.clear();
+  frame.done.clear();
+  frame.chosen = kNoChoice;
+  frame.prev_grant = -1;
+  frame.preemptions_before = 0;
+  frame.faults_before = 0;
+  frame.fp_lo = 0;
+  frame.fp_hi = 0;
+  frame.fp_valid = false;
+  frame.fp_dirty = false;
+  return frame;
+}
+
+/// Materializes the frontier node reached after `parent` took its chosen
+/// action (parent == nullptr at the root).  Consumes `scratch.runnable` (by
+/// swap, so its capacity returns to the buffer pool with the frame).
+Frame make_frame(const sim::SimEnv& env, Scratch& scratch,
                  const PassState& pass, const Frame* parent) {
-  Frame frame;
-  frame.runnable = std::move(runnable);
+  Frame frame = take_frame(scratch);
+  frame.runnable.swap(scratch.runnable);
   frame.pending.resize(static_cast<std::size_t>(env.process_count()));
   for (const int pid : frame.runnable) {
     frame.pending[static_cast<std::size_t>(pid)] = env.pending_of(pid);
@@ -286,9 +390,14 @@ Frame make_frame(const sim::SimEnv& env, std::vector<int> runnable,
 
 /// Accounts the branches the filters cut at a freshly materialized node
 /// (all filters are functions of the frame alone, so counting once at
-/// creation is exact).
-void account_frame(const Frame& frame, const PassState& pass,
+/// creation is exact).  Returns true iff a *budget* filter (preemption or
+/// fault) cut anything — the fingerprint cache treats that as incomplete
+/// coverage of the node's subtree.  Sleep-set prunes do NOT count: POR
+/// pruning is soundness-preserving, so a sleep-pruned subtree is still
+/// fully covered by proxy.
+bool account_frame(const Frame& frame, const PassState& pass,
                    UnitResult& unit) {
+  bool cut_any = false;
   for (const int pid : frame.runnable) {
     if (pass.use_por && contains(frame.entry_sleep, pid)) {
       ++unit.stats.sleep_set_prunes;
@@ -298,6 +407,7 @@ void account_frame(const Frame& frame, const PassState& pass,
         frame.preemptions_before + choice_cost(frame, pid) > pass.budget) {
       ++unit.stats.preemption_prunes;
       unit.budget_limited = true;
+      cut_any = true;
     }
   }
   // Note: this must also count at fault_budget == 0 (where every fault
@@ -320,14 +430,76 @@ void account_frame(const Frame& frame, const PassState& pass,
     if (cut > 0) {
       unit.stats.fault_prunes += cut;
       unit.fault_limited = true;
+      cut_any = true;
     }
   }
+  return cut_any;
+}
+
+/// Marks every open frame's coverage accumulator dirty.  Called whenever
+/// the current run hits something that leaves subtree coverage incomplete —
+/// a budget/fault cut, a depth truncation, or a violation — because under
+/// DFS all execution happens inside every open frame's subtree, so the
+/// event taints all of them.  Frames pushed later (after the event) start
+/// clean again: the event is not in *their* subtree.
+void mark_path_dirty(PassState& pass) {
+  for (Frame& frame : pass.frames) frame.fp_dirty = true;
+}
+
+/// Computes the visited-state cache key for a freshly materialized frame:
+/// a 128-bit hash over the system's semantic fingerprint plus every piece
+/// of scheduler-visible env state that influences future exploration from
+/// this node (virtual clock, per-pid step counts, parked/pending ops,
+/// restartability, SC arming).  Budget positions (preemptions_before,
+/// faults_before, prev_grant) are deliberately EXCLUDED — a state first
+/// reached under a tight budget and revisited with slack is the same
+/// state, and cross-budget hits are where the cache pays.  The sleep set
+/// IS included: two visits with different sleep sets cover different
+/// subtrees, so conflating them would under-explore.
+///
+/// Returns false (frame.fp_valid stays false) when the system opts out via
+/// the empty default fingerprint — without semantic state the env-only key
+/// would alias distinct states.
+bool compute_fp_key(SystemInstance& instance, const sim::SimEnv& env,
+                    Frame& frame) {
+  const std::string fp = instance.fingerprint(env);
+  if (fp.empty()) return false;
+  FpHash hash;
+  hash.str(fp);
+  hash.u64(static_cast<std::uint64_t>(env.virtual_now()));
+  const int n = env.process_count();
+  hash.u64(static_cast<std::uint64_t>(n));
+  for (int pid = 0; pid < n; ++pid) {
+    const bool parked = env.is_parked(pid);
+    hash.byte(parked ? 1 : 0);
+    hash.u64(env.steps_of(pid));
+    if (parked) {
+      const sim::OpDesc& op = frame.pending[static_cast<std::size_t>(pid)];
+      hash.str(op.object);
+      hash.str(op.op);
+      hash.u64(static_cast<std::uint64_t>(op.arg0));
+      hash.u64(static_cast<std::uint64_t>(op.arg1));
+    }
+  }
+  hash.u64(frame.restartable);
+  hash.u64(frame.sc_ready);
+  hash.u64(frame.sc_failed_before);
+  hash.u64(static_cast<std::uint64_t>(frame.entry_sleep.size()));
+  for (const int pid : frame.entry_sleep) {
+    hash.u64(static_cast<std::uint64_t>(pid));
+  }
+  frame.fp_lo = hash.h1;
+  frame.fp_hi = hash.h2;
+  frame.fp_valid = true;
+  return true;
 }
 
 /// Backtracks to the deepest node above the subtree floor with an
 /// unexplored sibling; returns false when the whole space (at this budget
-/// pair, within this subtree) is done.
-bool advance(PassState& pass) {
+/// pair, within this subtree) is done.  A frame popped here has finished
+/// its whole subtree segment within this unit, so its coverage partial
+/// {key, dirty} is emitted before the frame recycles into the arena.
+bool advance(PassState& pass, UnitResult& unit, Scratch& scratch) {
   auto& frames = pass.frames;
   while (frames.size() > pass.floor) {
     Frame& frame = frames.back();
@@ -338,9 +510,26 @@ bool advance(PassState& pass) {
       frame.chosen = next;
       return true;
     }
+    if (frame.fp_valid) {
+      unit.fp_partials.push_back({frame.fp_lo, frame.fp_hi, frame.fp_dirty});
+    }
+    scratch.spare.push_back(std::move(frames.back()));
     frames.pop_back();
   }
   return false;
+}
+
+/// Emits coverage partials for the frames still open when a unit drains
+/// normally (the below-floor prefix frames advance() never pops).  Their
+/// dirty bits carry whatever this unit's segment of the subtree saw; the
+/// per-key OR across all of a pass's units reassembles total subtree dirt
+/// no matter how steal splits or shard cuts divided the work.
+void emit_open_frames(const PassState& pass, UnitResult& unit) {
+  for (const Frame& frame : pass.frames) {
+    if (frame.fp_valid) {
+      unit.fp_partials.push_back({frame.fp_lo, frame.fp_hi, frame.fp_dirty});
+    }
+  }
 }
 
 /// audit == false resolves through BSS_AUDIT (force-on only: the variable
@@ -354,6 +543,20 @@ bool resolve_audit(const ExploreOptions& options) {
            !(raw[0] == '0' && raw[1] == '\0');
   }();
   return env_audit;
+}
+
+/// fingerprint_prune == false resolves through BSS_EXPLORE_FP (force-on
+/// only, the BSS_AUDIT pattern: the variable can switch pruning on under
+/// an existing binary — how CI sweeps the suite with the cache engaged —
+/// but never disable an explicit request).
+bool resolve_fingerprint_prune(const ExploreOptions& options) {
+  if (options.fingerprint_prune) return true;
+  // Read per campaign (not latched like BSS_AUDIT): one getenv per
+  // explore() call is free next to any pass, and it keeps the lever usable
+  // from a single process that toggles it between campaigns.
+  const char* raw = std::getenv("BSS_EXPLORE_FP");
+  return raw != nullptr && raw[0] != '\0' &&
+         !(raw[0] == '0' && raw[1] == '\0');
 }
 
 /// Worker-count-independent schedule sampling for the commutation
@@ -370,12 +573,11 @@ bool commute_sampled(const std::vector<int>& tape, std::uint32_t sample) {
   return hash % sample == 0;
 }
 
-std::vector<int> parked_pids(const sim::SimEnv& env) {
-  std::vector<int> runnable;
+bool any_parked(const sim::SimEnv& env) {
   for (int pid = 0; pid < env.process_count(); ++pid) {
-    if (env.is_parked(pid)) runnable.push_back(pid);
+    if (env.is_parked(pid)) return true;
   }
-  return runnable;
+  return false;
 }
 
 struct RunOutcome {
@@ -400,12 +602,13 @@ struct RunOutcome {
 /// every serial run re-executes its prefix.
 RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
                    PassState& pass, UnitResult& unit, std::size_t shard_at,
-                   const ObsCtx& octx) {
+                   const ObsCtx& octx, Scratch& scratch) {
   RunOutcome outcome;
   std::uint64_t run_transitions = 0;
   std::uint64_t run_timer_grants = 0;
   std::uint64_t run_faults = 0;
-  std::vector<FaultPoint> run_fault_points;
+  std::vector<FaultPoint>& run_fault_points = scratch.fault_points;
+  run_fault_points.clear();
   std::optional<audit::Auditor> auditor;
   if (opts.audit) auditor.emplace();
   // Execution deltas — audit counters included — buffer here and commit
@@ -433,13 +636,14 @@ RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
   if (auditor.has_value()) env.set_access_observer(&*auditor);
   env.start();
 
-  std::vector<int> actions;
+  std::vector<int>& actions = scratch.actions;
+  actions.clear();
   std::size_t depth = 0;
   std::uint64_t granted = 0;
   bool truncated = false;
   for (;;) {
-    std::vector<int> runnable = parked_pids(env);
-    if (runnable.empty()) break;
+    fill_parked(env, scratch.runnable);
+    if (scratch.runnable.empty()) break;
     if (granted >= opts.max_depth) {
       truncated = true;
       break;
@@ -458,7 +662,7 @@ RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
       // Prefix replay: the factory is deterministic, so the runnable set
       // must match what the previous run recorded here.
       const Frame& frame = pass.frames[depth];
-      if (frame.runnable != runnable) {
+      if (frame.runnable != scratch.runnable) {
         throw std::logic_error(
             "schedule exploration diverged on prefix replay: the system "
             "factory is nondeterministic");
@@ -466,8 +670,33 @@ RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
       choice = frame.chosen;
     } else {
       const Frame* parent = depth > 0 ? &pass.frames[depth - 1] : nullptr;
-      Frame frame = make_frame(env, std::move(runnable), pass, parent);
-      account_frame(frame, pass, unit);
+      Frame frame = make_frame(env, scratch, pass, parent);
+      if (pass.fp_prune && compute_fp_key(*instance, env, frame) &&
+          pass.fp_cache != nullptr &&
+          pass.fp_cache->count({frame.fp_lo, frame.fp_hi}) != 0) {
+        // Visited-state hit against the frozen cache: an earlier pass
+        // covered this node's full unbounded subtree clean, so nothing
+        // below it can change stats, coverage, or violations.  The frame
+        // is never pushed (its subtree is skipped wholesale) and its
+        // siblings-at-this-node accounting never runs — matching what the
+        // serial pruned explorer does, so parallel stays byte-identical.
+        ++unit.stats.fingerprint_prunes;
+        env.finish();
+        commit();
+        if (octx.shard != nullptr) {
+          ++octx.shard->counter("explore.fingerprint_prunes");
+          ++octx.shard->counter("explore.pruned_runs");
+        }
+        outcome.pruned = true;
+        return outcome;
+      }
+      const bool cut = account_frame(frame, pass, unit);
+      if (pass.fp_prune && cut) {
+        // A budget/fault filter cut siblings here: this node's subtree is
+        // incompletely covered, which taints it and every open ancestor.
+        mark_path_dirty(pass);
+        frame.fp_dirty = true;
+      }
       choice = select_choice(frame, pass);
       if (choice == kNoChoice) {
         env.finish();
@@ -526,6 +755,9 @@ RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
     ++unit.stats.truncated;
     if (octx.shard != nullptr) ++octx.shard->counter("explore.truncated");
     outcome.truncated = true;
+    // The depth valve cut this run short: everything on the path is
+    // incompletely covered.
+    if (pass.fp_prune) mark_path_dirty(pass);
     return outcome;
   }
   const sim::RunReport report = env.snapshot_report();
@@ -541,6 +773,9 @@ RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
     }
   }
   if (outcome.violation.has_value()) {
+    // A violating path must never enter the cache clean: pruning it in a
+    // later pass would suppress re-finding the violation.
+    if (pass.fp_prune) mark_path_dirty(pass);
     outcome.decisions = std::move(actions);
   } else if (auditor.has_value() &&
              commute_sampled(actions, opts.audit_commute_sample)) {
@@ -636,7 +871,7 @@ TapeResult run_tape(const ExplorableSystem& system, const ExploreOptions& opts,
   int rr_cursor = 0;
   std::uint64_t granted = 0;
   for (;;) {
-    if (parked_pids(env).empty()) break;
+    if (!any_parked(env)) break;
     if (granted >= opts.max_depth) {
       result.truncated = true;
       break;
@@ -721,6 +956,8 @@ void fold_unit(UnitResult& into, const UnitResult& from) {
   into.fault_points.insert(from.fault_points.begin(), from.fault_points.end());
   into.budget_limited |= from.budget_limited;
   into.fault_limited |= from.fault_limited;
+  into.fp_partials.insert(into.fp_partials.end(), from.fp_partials.begin(),
+                          from.fp_partials.end());
 }
 
 /// Records a violation plus a checkpoint of the unit's cumulative state, so
@@ -765,12 +1002,13 @@ void explore_subtree(const ExplorableSystem& system,
                      const ExploreOptions& opts, PassState pass,
                      SharedBudget& budget, std::size_t violation_quota,
                      UnitResult& unit, const ObsCtx& octx) {
+  Scratch scratch;
   for (;;) {
     if (budget.exhausted()) {
       unit.cap_hit = true;
       break;
     }
-    RunOutcome outcome = run_one(system, opts, pass, unit, 0, octx);
+    RunOutcome outcome = run_one(system, opts, pass, unit, 0, octx, scratch);
     if (!outcome.pruned) {
       budget.schedules.fetch_add(1, std::memory_order_relaxed);
     }
@@ -784,7 +1022,14 @@ void explore_subtree(const ExplorableSystem& system,
         break;
       }
     }
-    if (!advance(pass)) break;
+    if (!advance(pass, unit, scratch)) {
+      // Normal drain: the below-floor prefix frames never pop, so their
+      // coverage partials are emitted here.  The cap_hit/stopped breaks
+      // above deliberately emit nothing — both end the campaign at the
+      // merge, and explore() discards all partials of an ended pass.
+      emit_open_frames(pass, unit);
+      break;
+    }
   }
 }
 
@@ -816,25 +1061,31 @@ std::vector<PassUnit> run_pass(const ExplorableSystem& system,
   const std::uint64_t enumerate_begin = spans ? sink->now_ns() : 0;
 
   PassState pass = cfg.base;
+  Scratch arena;
+  // Coverage partials the enumerator's advance() emits as it pops frames.
+  // Which unit carries a partial is irrelevant to the per-key aggregation
+  // (commutative OR), so they collect here and fold into the last inline
+  // unit once the walk ends.
+  UnitResult drained;
   std::size_t inline_recorded = 0;
   for (;;) {
     if (budget.exhausted()) {
       inline_unit().cap_hit = true;
       break;
     }
-    UnitResult scratch;
+    UnitResult fresh;
     RunOutcome outcome =
-        run_one(system, opts, pass, scratch, cfg.shard_at, coordinator);
+        run_one(system, opts, pass, fresh, cfg.shard_at, coordinator, arena);
     if (outcome.sharded) {
       PassUnit u;
       u.job = SubtreeJob{pass.frames};  // snapshot; the enumerator walks on
-      u.result = std::move(scratch);    // frame accounting for the prefix
+      u.result = std::move(fresh);      // frame accounting for the prefix
       units.push_back(std::move(u));
-      if (!advance(pass)) break;
+      if (!advance(pass, drained, arena)) break;
       continue;
     }
     UnitResult& unit = inline_unit();
-    fold_unit(unit, scratch);
+    fold_unit(unit, fresh);
     if (!outcome.pruned) {
       budget.schedules.fetch_add(1, std::memory_order_relaxed);
     }
@@ -852,8 +1103,9 @@ std::vector<PassUnit> run_pass(const ExplorableSystem& system,
         break;
       }
     }
-    if (!advance(pass)) break;
+    if (!advance(pass, drained, arena)) break;
   }
+  if (!drained.fp_partials.empty()) fold_unit(inline_unit(), drained);
 
   if (spans) {
     obs::Span span;
@@ -1169,11 +1421,13 @@ CheckpointUnit serialize_steal_unit(const StealUnit& unit) {
       CheckpointFrame cf;
       cf.chosen = frame.chosen;
       cf.done = frame.done;
+      cf.fp_dirty = frame.fp_dirty;  // key recomputed by the resume replay
       out.frames.push_back(std::move(cf));
     }
     out.floor = unit.floor;
   }
   const UnitResult& r = unit.result;
+  out.fp_partials = r.fp_partials;
   out.stats = r.stats;
   out.audit = r.audit;
   out.fault_points.assign(r.fault_points.begin(), r.fault_points.end());
@@ -1206,6 +1460,7 @@ StealUnit materialize_steal_unit(const ExplorableSystem& system,
                                  const CheckpointUnit& cu) {
   StealUnit unit;
   UnitResult& r = unit.result;
+  r.fp_partials = cu.fp_partials;
   r.stats = cu.stats;
   r.audit = cu.audit;
   r.fault_points.insert(cu.fault_points.begin(), cu.fault_points.end());
@@ -1239,13 +1494,22 @@ StealUnit materialize_steal_unit(const ExplorableSystem& system,
   expects(env.process_count() <= 64,
           "the fault-aware explorer supports at most 64 processes");
   env.start();
+  Scratch scratch;
   for (const CheckpointFrame& cf : cu.frames) {
-    std::vector<int> runnable = env.parked_processes();
-    expects(!runnable.empty(), "checkpoint frontier replays past quiescence");
+    fill_parked(env, scratch.runnable);
+    expects(!scratch.runnable.empty(),
+            "checkpoint frontier replays past quiescence");
     const Frame* parent = pass.frames.empty() ? nullptr : &pass.frames.back();
-    Frame frame = make_frame(env, std::move(runnable), pass, parent);
+    Frame frame = make_frame(env, scratch, pass, parent);
     // No account_frame here: the persisted partial stats already charged
-    // this frame when it was first materialized.
+    // this frame when it was first materialized.  The cache key is a pure
+    // function of the replayed state, so recomputing it (rather than
+    // persisting it) keeps the artifact small and doubles as coverage of
+    // the key's determinism; only the dirty accumulator needs restoring.
+    if (pass.fp_prune) {
+      compute_fp_key(*instance, env, frame);
+      frame.fp_dirty = cf.fp_dirty;
+    }
     frame.done = cf.done;
     expects(applicable(env, cf.chosen),
             "checkpoint frontier decision is not applicable on replay");
@@ -1296,6 +1560,13 @@ struct CheckpointCtx {
   bool restored_fault_limited = false;
   const ExploreResult* merged = nullptr;
   const std::set<FaultPoint>* covered = nullptr;
+  /// Visited-state cache state (fingerprint_prune only): the cache frozen
+  /// at the start of the current pass, and the coverage partials of units
+  /// already folded into `merged` (restored from a resumed artifact, then
+  /// extended as checkpoints fold more prefix units).  Both null when
+  /// pruning is off.
+  const FpCache* fp_cache = nullptr;
+  const std::vector<FingerprintPartial>* restored_partials = nullptr;
 };
 
 struct StealPassOutput {
@@ -1412,6 +1683,9 @@ StealPassOutput run_steal_pass(const ExplorableSystem& system,
     MergeOutcome fold;
     fold.budget_limited = ckpt->restored_budget_limited;
     fold.fault_limited = ckpt->restored_fault_limited;
+    if (ckpt->restored_partials != nullptr) {
+      cp.fp_partials = *ckpt->restored_partials;
+    }
     bool prefix_stopped = false;
     auto it = pool.units.begin();
     while (it != pool.units.end() &&
@@ -1419,6 +1693,8 @@ StealPassOutput run_steal_pass(const ExplorableSystem& system,
            !it->result.skipped) {
       UnitResult copy = it->result;
       const bool ends = merge_one(copy, opts, folded, covered, fold, nullptr);
+      cp.fp_partials.insert(cp.fp_partials.end(), it->result.fp_partials.begin(),
+                            it->result.fp_partials.end());
       ++it;
       if (ends) {
         prefix_stopped = true;
@@ -1440,6 +1716,12 @@ StealPassOutput run_steal_pass(const ExplorableSystem& system,
       for (; it != pool.units.end(); ++it) {
         cp.frontier.push_back(serialize_steal_unit(*it));
       }
+    }
+    if (ckpt->fp_cache != nullptr) {
+      // The frozen cache is what the in-progress pass is pruning against;
+      // persisting it verbatim (std::set iteration = sorted) lets the
+      // resumed pass reproduce every pruning decision bit-for-bit.
+      cp.fp_cache.assign(ckpt->fp_cache->begin(), ckpt->fp_cache->end());
     }
     expects(write_checkpoint_file(opts.checkpoint_path, cp.to_artifact()),
             "failed to write checkpoint artifact: " + opts.checkpoint_path);
@@ -1472,6 +1754,7 @@ StealPassOutput run_steal_pass(const ExplorableSystem& system,
       }
       std::uint64_t claims = 0;
       bool halted = false;
+      Scratch scratch;
       while (!halted) {
         auto self = pool.units.end();
         PassState pass = cfg.base;
@@ -1570,7 +1853,8 @@ StealPassOutput run_steal_pass(const ExplorableSystem& system,
             local.cap_hit = true;
             break;
           }
-          RunOutcome outcome = run_one(system, opts, pass, local, 0, octx);
+          RunOutcome outcome =
+              run_one(system, opts, pass, local, 0, octx, scratch);
           if (!outcome.pruned) {
             const std::uint64_t claimed =
                 budget.schedules.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -1593,7 +1877,15 @@ StealPassOutput run_steal_pass(const ExplorableSystem& system,
               break;
             }
           }
-          if (!advance(pass)) break;
+          if (!advance(pass, local, scratch)) {
+            // Normal drain: emit the below-floor prefix frames' coverage
+            // partials.  The halted/aborted/cap/stopped breaks above emit
+            // nothing — each either abandons the unit's results wholesale
+            // or ends the campaign, and explore() discards all partials of
+            // an ended pass.
+            emit_open_frames(pass, local);
+            break;
+          }
         }
         if (halted) break;  // unit stays kRunning; the halt abandons the pass
         {
@@ -1764,6 +2056,7 @@ Counterexample minimize_counterexample(const ExplorableSystem& system,
   // tape entries here: spans containing them are dropped like any other,
   // so a violation that needs fewer faults shrinks to fewer faults.
   bool budget_hit = false;
+  std::vector<int> candidate;  // hoisted: reused across every ddmin replay
   for (std::size_t chunk = std::max<std::size_t>(best.size() / 2, 1);;
        chunk /= 2) {
     std::size_t start = 0;
@@ -1773,7 +2066,7 @@ Counterexample minimize_counterexample(const ExplorableSystem& system,
         break;
       }
       const std::size_t len = std::min(chunk, best.size() - start);
-      std::vector<int> candidate;
+      candidate.clear();
       candidate.reserve(best.size() - len);
       candidate.insert(candidate.end(), best.begin(),
                        best.begin() + static_cast<std::ptrdiff_t>(start));
@@ -1822,6 +2115,9 @@ ExploreResult explore(const ExplorableSystem& system,
                       const ExploreOptions& requested) {
   ExploreOptions options = requested;
   options.audit = resolve_audit(requested);
+  // Resolved here (not at use sites) so CheckpointOptions::key_of sees the
+  // effective value — a resume under a different BSS_EXPLORE_FP is caught.
+  options.fingerprint_prune = resolve_fingerprint_prune(requested);
   expects(options.steal ||
               (options.checkpoint_path.empty() && options.resume_path.empty()),
           "checkpoint/resume requires the work-stealing engine (steal=true)");
@@ -1882,6 +2178,14 @@ ExploreResult explore(const ExplorableSystem& system,
   }
 
   std::set<FaultPoint> fault_points;
+  // Visited-state cache (fingerprint_prune only): frozen while a pass runs,
+  // extended between passes from the pass's aggregated coverage partials.
+  // `restored_fp_partials` carries the partials of units already folded
+  // into a resumed campaign's merged prefix — they join the resumed pass's
+  // own partials at its between-pass fold, so a killed-and-resumed campaign
+  // admits exactly the keys an uninterrupted one would.
+  FpCache fp_cache;
+  std::vector<FingerprintPartial> restored_fp_partials;
   SharedBudget budget_valve(options.max_schedules);
   bool cap_hit = false;
   bool stopped = false;
@@ -1926,6 +2230,8 @@ ExploreResult explore(const ExplorableSystem& system,
     cap_hit = resume->cap_hit;
     stopped = resume->stopped;
     last_pass_budget_limited = resume->last_pass_budget_limited;
+    for (const auto& key : resume->fp_cache) fp_cache.insert(key);
+    restored_fp_partials = resume->fp_partials;
     // The in-progress pass resumes under its own ordinal; a pass that
     // already concluded (stop/cap confirmed in the folded prefix) counts as
     // finished.  A complete artifact stores the final total verbatim.
@@ -1950,6 +2256,7 @@ ExploreResult explore(const ExplorableSystem& system,
     ckpt->seq = resume.has_value() ? resume->seq + 1 : 0;
     ckpt->merged = &result;
     ckpt->covered = &fault_points;
+    if (options.fingerprint_prune) ckpt->fp_cache = &fp_cache;
   }
 
   bool halted = false;
@@ -1980,6 +2287,8 @@ ExploreResult explore(const ExplorableSystem& system,
       cfg.base.explore_crashes = faults_on && options.explore_crashes;
       cfg.base.explore_restarts = faults_on && options.explore_restarts;
       cfg.base.explore_sc = faults_on && options.explore_sc_failures;
+      cfg.base.fp_prune = options.fingerprint_prune;
+      if (options.fingerprint_prune) cfg.base.fp_cache = &fp_cache;
       cfg.shard_at = shard_at;
       cfg.jobs = jobs;
       cfg.violations_so_far = result.violations.size();
@@ -1994,6 +2303,8 @@ ExploreResult explore(const ExplorableSystem& system,
             resumed_pass && resume->pass_budget_limited;
         ckpt->restored_fault_limited =
             resumed_pass && resume->pass_fault_limited;
+        ckpt->restored_partials =
+            resumed_pass ? &restored_fp_partials : nullptr;
       }
       std::vector<PassUnit> units;
       if (options.steal) {
@@ -2029,6 +2340,34 @@ ExploreResult explore(const ExplorableSystem& system,
       fault_limited_at_this_budget = merged.fault_limited;
       cap_hit |= merged.cap_hit;
       stopped |= merged.stopped;
+      if (options.fingerprint_prune && !cap_hit && !stopped) {
+        // Between-pass cache fold: aggregate the pass's coverage partials
+        // per key (OR of dirty across every unit — commutative and
+        // idempotent, so steal splits and shard prefixes need no
+        // reconciliation) and admit the keys that aggregate clean.  A clean
+        // key's subtree was explored in full with no budget/fault cut,
+        // truncation or violation anywhere below it — that is the whole
+        // unbounded reachable tree under the node, so pruning it at ANY
+        // later budget loses nothing (which is why budget positions are
+        // excluded from the key).  Passes that end the campaign (cap/stop)
+        // fold nothing: their partials would never be consulted.
+        std::map<FpKey, bool> aggregated;
+        if (resumed_pass) {
+          for (const FingerprintPartial& p : restored_fp_partials) {
+            auto [it, inserted] = aggregated.try_emplace({p.lo, p.hi}, false);
+            it->second |= p.dirty;
+          }
+        }
+        for (const PassUnit& u : units) {
+          for (const FingerprintPartial& p : u.result.fp_partials) {
+            auto [it, inserted] = aggregated.try_emplace({p.lo, p.hi}, false);
+            it->second |= p.dirty;
+          }
+        }
+        for (const auto& [key, dirty] : aggregated) {
+          if (!dirty) fp_cache.insert(key);
+        }
+      }
       if (cap_hit || stopped) break;
       if (!merged.budget_limited) break;  // space covered at this budget
     }
@@ -2108,6 +2447,7 @@ ExploreResult explore(const ExplorableSystem& system,
     report.option("shrink_budget", options.shrink_budget);
     report.option("fault_bound", options.fault_bound);
     report.option("audit", options.audit);
+    report.option("fingerprint_prune", options.fingerprint_prune);
     const ExploreStats& stats = result.stats;
     report.stat("schedules", stats.schedules);
     report.stat("transitions", stats.transitions);
@@ -2120,6 +2460,7 @@ ExploreResult explore(const ExplorableSystem& system,
     report.stat("shrink_budget_hits", stats.shrink_budget_hits);
     report.stat("fault_prunes", stats.fault_prunes);
     report.stat("faults_injected", stats.faults_injected);
+    report.stat("fingerprint_prunes", stats.fingerprint_prunes);
     report.stat("fault_points", stats.fault_points);
     report.stat("violations", result.violations.size());
     report.coverage("exhausted", result.exhausted);
@@ -2146,6 +2487,13 @@ ExploreResult explore(const ExplorableSystem& system,
             .count();
     report.timing("explore_wall_ns",
                   static_cast<std::uint64_t>(wall_ns));
+    // Schedules/second lives in the quarantined timing channel: it varies
+    // run to run, so it must never leak into the canonical sections.
+    if (wall_ns > 0) {
+      report.timing("schedules_per_second",
+                    static_cast<double>(stats.schedules) * 1e9 /
+                        static_cast<double>(wall_ns));
+    }
     sink->report(report);
   }
   return result;
@@ -2165,6 +2513,7 @@ void ExploreStats::merge_from(const ExploreStats& other) {
   shrink_budget_hits += other.shrink_budget_hits;
   fault_prunes += other.fault_prunes;
   faults_injected += other.faults_injected;
+  fingerprint_prunes += other.fingerprint_prunes;
   // fault_points intentionally untouched: distinct sites dedup through a
   // set and are written once at the end of explore().
 }
@@ -2174,8 +2523,9 @@ std::string ExploreStats::summary() const {
   out << "schedules=" << schedules << " transitions=" << transitions;
   if (timer_grants > 0) out << " timer-grants=" << timer_grants;
   out << " sleep-prunes=" << sleep_set_prunes
-      << " preemption-prunes=" << preemption_prunes
-      << " truncated=" << truncated << " max-depth=" << max_depth_seen
+      << " preemption-prunes=" << preemption_prunes;
+  if (fingerprint_prunes > 0) out << " fp-prunes=" << fingerprint_prunes;
+  out << " truncated=" << truncated << " max-depth=" << max_depth_seen
       << " shrink-runs=" << shrink_runs;
   if (shrink_budget_hits > 0) {
     out << " shrink-budget-hits=" << shrink_budget_hits;

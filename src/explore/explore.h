@@ -219,6 +219,28 @@ struct ExploreOptions {
   /// smaller (deeper) subtrees.  Any value produces identical results — the
   /// knob trades steal frequency against per-steal work size.
   int steal_depth = 0;
+  /// Visited-state cache (the step-loop fast path): key every DFS node on
+  /// SystemInstance::fingerprint plus the scheduler-visible SimEnv state
+  /// (parked set, pending operations, per-process step counts, virtual
+  /// clock, sleep set, spent spurious-SC set) and prune nodes whose key was
+  /// *cleanly covered* by an earlier iterative pass — "cleanly" meaning the
+  /// covering subtree was cut by no budget, no fault bound, no truncation
+  /// and contained no violation, so it equals the full unbounded subtree
+  /// and re-exploring it at a deeper budget cannot add coverage.  The cache
+  /// is frozen for the duration of each pass and clean keys are folded in
+  /// between passes from per-frame coverage partials that aggregate
+  /// commutatively, so pruning decisions — and therefore stats, violations
+  /// and artifacts — stay byte-identical at every worker count, steal
+  /// granularity and shard depth.  Systems whose fingerprint() returns the
+  /// empty default opt out frame-by-frame (full exploration).  Sound for
+  /// properties that are a function of the fingerprinted state (the same
+  /// assumption class as sleep-set POR); the seeded mutant suite asserts no
+  /// refutation is lost.  A pass may conclude the space exhausted *earlier*
+  /// than an unpruned run (budget cuts inside covered regions are
+  /// suppressed) — coverage is identical, pass counts may not be.  false
+  /// resolves through the BSS_EXPLORE_FP environment variable (force-on
+  /// only, how CI sweeps the suite with pruning engaged).
+  bool fingerprint_prune = false;
   /// When non-empty, the stealing engine periodically writes a
   /// `bss-checkpoint v1` artifact here (atomically: tmp file + rename): the
   /// merged DFS-prefix result plus every outstanding unit's replayable
@@ -308,6 +330,10 @@ struct ExploreStats {
   std::uint64_t shrink_budget_hits = 0; ///< minimizations cut by shrink_budget
   std::uint64_t fault_prunes = 0;      ///< fault branches cut by the budget
   std::uint64_t faults_injected = 0;   ///< fault decisions taken, all runs
+  /// DFS nodes pruned by the visited-state cache
+  /// (ExploreOptions::fingerprint_prune); each prune skips the node's whole
+  /// already-covered subtree.  Deterministic at every worker count.
+  std::uint64_t fingerprint_prunes = 0;
   /// Distinct fault sites covered: (action, victim's lifetime op count)
   /// pairs — "every single-crash point" means every such pair was hit.
   std::uint64_t fault_points = 0;

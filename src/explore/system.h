@@ -77,23 +77,32 @@ class StatefulInstance final : public SystemInstance {
   using Populate = std::function<void(State&, sim::SimEnv&)>;
   using Check = std::function<std::optional<std::string>(
       State&, const sim::SimEnv&, const sim::RunReport&)>;
+  using Fingerprint = std::function<std::string(State&, const sim::SimEnv&)>;
 
   StatefulInstance(std::unique_ptr<State> state, Populate populate,
-                   Check check)
+                   Check check, Fingerprint fingerprint = {})
       : state_(std::move(state)),
         populate_(std::move(populate)),
-        check_(std::move(check)) {}
+        check_(std::move(check)),
+        fingerprint_(std::move(fingerprint)) {}
 
   void populate(sim::SimEnv& env) override { populate_(*state_, env); }
   std::optional<std::string> check(const sim::SimEnv& env,
                                    const sim::RunReport& report) override {
     return check_(*state_, env, report);
   }
+  /// Forwards to the bound fingerprint callable; without one, keeps the
+  /// base-class empty opt-out (no commute cross-check, no prune cache).
+  std::string fingerprint(const sim::SimEnv& env) override {
+    return fingerprint_ ? fingerprint_(*state_, env)
+                        : SystemInstance::fingerprint(env);
+  }
 
  private:
   std::unique_ptr<State> state_;
   Populate populate_;
   Check check_;
+  Fingerprint fingerprint_;
 };
 
 /// System helper wrapping a plain factory callable.

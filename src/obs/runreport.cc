@@ -253,6 +253,24 @@ std::vector<std::string> validate_runreport(std::string_view text) {
       }
     }
   }
+  if (const json::Value* timing = value->find("timing");
+      timing != nullptr && timing->is_object()) {
+    // Timing is the quarantined non-canonical channel, so entries are free
+    // form — but a rate that parses as negative or non-finite is a producer
+    // bug, not noise, and would poison any downstream aggregation.
+    if (const json::Value* rate = timing->find("schedules_per_second");
+        rate != nullptr) {
+      if (!rate->is_number()) {
+        errors.emplace_back("timing \"schedules_per_second\" is not a number");
+      } else {
+        const double parsed = rate->as_double();
+        if (!(parsed >= 0.0) || parsed > 1e308) {
+          errors.emplace_back(
+              "timing \"schedules_per_second\" is negative or not finite");
+        }
+      }
+    }
+  }
   return errors;
 }
 
