@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <fstream>
@@ -2130,6 +2131,7 @@ ExploreResult explore(const ExplorableSystem& system,
   obs::ObsSink* sink = options.telemetry;
   const bool events = sink != nullptr && sink->events_enabled();
   const bool spans = sink != nullptr && sink->timeline_enabled();
+  // bss-lint: wallclock-ok(feeds only the runreport "timing" section)
   const auto wall_begin = std::chrono::steady_clock::now();
   if (events) {
     obs::Event event;
@@ -2483,6 +2485,7 @@ ExploreResult explore(const ExplorableSystem& system,
     }
     const auto wall_ns =
         std::chrono::duration_cast<std::chrono::nanoseconds>(
+            // bss-lint: wallclock-ok(runreport "timing" section only)
             std::chrono::steady_clock::now() - wall_begin)
             .count();
     report.timing("explore_wall_ns",
@@ -2629,6 +2632,29 @@ std::optional<int> parse_action_token(const std::string& token) {
   return encode_action(kind, pid);
 }
 
+namespace {
+
+// Strict base-10 parse for artifact header counts: every byte must be a
+// digit (no sign, no whitespace, no trailing junk) and the result must not
+// exceed `limit`.  The std::stoi/std::stoull these replace threw straight
+// through from_artifact on junk like "processes: x" and silently wrapped
+// "shrunk-from: -1" to 2^64-1; a corrupt artifact must parse to nullopt,
+// never to a crash or a bogus huge count.  (Found by fuzz_counterexample.)
+std::optional<std::uint64_t> parse_artifact_count(const std::string& value,
+                                                  std::uint64_t limit) {
+  if (value.empty() || value.size() > 20) return std::nullopt;
+  std::uint64_t out = 0;
+  for (const char ch : value) {
+    if (ch < '0' || ch > '9') return std::nullopt;
+    const auto digit = static_cast<std::uint64_t>(ch - '0');
+    if (digit > limit || out > (limit - digit) / 10) return std::nullopt;
+    out = out * 10 + digit;
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string Counterexample::to_artifact() const {
   std::ostringstream out;
   std::string flat = violation;
@@ -2683,9 +2709,15 @@ std::optional<Counterexample> Counterexample::from_artifact(
     if (key == "system") {
       cex.system = value;
     } else if (key == "processes") {
-      cex.processes = std::stoi(value);
+      const auto count = parse_artifact_count(
+          value, static_cast<std::uint64_t>(kMaxActionPid) + 1);
+      if (!count.has_value()) return std::nullopt;
+      cex.processes = static_cast<int>(*count);
     } else if (key == "shrunk-from") {
-      cex.shrunk_from = static_cast<std::size_t>(std::stoull(value));
+      const auto count = parse_artifact_count(
+          value, std::numeric_limits<std::size_t>::max());
+      if (!count.has_value()) return std::nullopt;
+      cex.shrunk_from = static_cast<std::size_t>(*count);
     } else if (key == "violation") {
       cex.violation = value;
     } else if (key == "decisions") {

@@ -1,8 +1,11 @@
 #include "registers/cas_register_k.h"
 
+#include "registers/footprint.h"
 #include "util/checked.h"
 
 namespace bss::sim {
+
+BSS_FOOTPRINT(CasRegisterK, cas, read);
 
 CasRegisterK::CasRegisterK(std::string name, int k)
     : name_(std::move(name)), k_(k) {

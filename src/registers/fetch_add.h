@@ -8,11 +8,14 @@
 #include <cstdint>
 #include <string>
 
+#include "registers/footprint.h"
 #include "runtime/sim_env.h"
 
 namespace bss::sim {
 
 class FetchAdd {
+  BSS_FOOTPRINT(FetchAdd, faa, read);
+
  public:
   FetchAdd(std::string name, std::int64_t initial = 0)
       : name_(std::move(name)), value_(initial) {}

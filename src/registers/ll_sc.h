@@ -12,12 +12,15 @@
 #include <string>
 #include <vector>
 
+#include "registers/footprint.h"
 #include "runtime/sim_env.h"
 #include "util/checked.h"
 
 namespace bss::sim {
 
 class LlScRegisterK {
+  BSS_FOOTPRINT(LlScRegisterK, ll, sc);
+
  public:
   LlScRegisterK(std::string name, int k, int initial = 0)
       : name_(std::move(name)), k_(k), value_(initial) {

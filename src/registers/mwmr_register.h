@@ -8,6 +8,7 @@
 #include <string>
 #include <utility>
 
+#include "registers/footprint.h"
 #include "registers/value.h"
 #include "runtime/sim_env.h"
 
@@ -15,6 +16,8 @@ namespace bss::sim {
 
 template <class T>
 class MwmrRegister {
+  BSS_FOOTPRINT(MwmrRegister, read, write);
+
  public:
   MwmrRegister(std::string name, T initial)
       : name_(std::move(name)), value_(std::move(initial)) {}

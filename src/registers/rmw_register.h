@@ -12,12 +12,15 @@
 #include <string>
 #include <vector>
 
+#include "registers/footprint.h"
 #include "runtime/sim_env.h"
 #include "util/checked.h"
 
 namespace bss::sim {
 
 class RmwRegisterK {
+  BSS_FOOTPRINT(RmwRegisterK, read, rmw);
+
  public:
   struct Transition {
     int pid = -1;

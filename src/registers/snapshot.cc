@@ -1,8 +1,11 @@
 #include "registers/snapshot.h"
 
+#include "registers/footprint.h"
 #include "util/checked.h"
 
 namespace bss::sim {
+
+BSS_FOOTPRINT(AtomicSnapshot, read, write);
 
 AtomicSnapshot::AtomicSnapshot(std::string name, int n,
                                bool enforce_single_writer)

@@ -7,11 +7,14 @@
 #include <cstdint>
 #include <string>
 
+#include "registers/footprint.h"
 #include "runtime/sim_env.h"
 
 namespace bss::sim {
 
 class StickyRegister {
+  BSS_FOOTPRINT(StickyRegister, propose, read);
+
  public:
   static constexpr std::int64_t kUnset = -1;
 

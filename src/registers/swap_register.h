@@ -6,11 +6,14 @@
 #include <cstdint>
 #include <string>
 
+#include "registers/footprint.h"
 #include "runtime/sim_env.h"
 
 namespace bss::sim {
 
 class SwapRegister {
+  BSS_FOOTPRINT(SwapRegister, read, swap);
+
  public:
   SwapRegister(std::string name, std::int64_t initial = 0)
       : name_(std::move(name)), value_(initial) {}

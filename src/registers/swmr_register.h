@@ -9,6 +9,7 @@
 #include <string>
 #include <utility>
 
+#include "registers/footprint.h"
 #include "registers/value.h"
 #include "runtime/sim_env.h"
 #include "util/checked.h"
@@ -17,6 +18,8 @@ namespace bss::sim {
 
 template <class T>
 class SwmrRegister {
+  BSS_FOOTPRINT(SwmrRegister, read, write);
+
  public:
   /// `writer` is the only pid allowed to write; pass kAnyWriter to defer the
   /// binding to the first write (the writer is then fixed forever).

@@ -7,11 +7,14 @@
 
 #include <string>
 
+#include "registers/footprint.h"
 #include "runtime/sim_env.h"
 
 namespace bss::sim {
 
 class TestAndSet {
+  BSS_FOOTPRINT(TestAndSet, read, tas);
+
  public:
   explicit TestAndSet(std::string name) : name_(std::move(name)) {}
 

@@ -13,12 +13,15 @@
 #include <functional>
 #include <string>
 
+#include "registers/footprint.h"
 #include "runtime/sim_env.h"
 #include "util/checked.h"
 
 namespace bss::sim {
 
 class WriteOnceRmwK {
+  BSS_FOOTPRINT(WriteOnceRmwK, rmw1);
+
  public:
   WriteOnceRmwK(std::string name, int k, int initial = 0)
       : name_(std::move(name)), k_(k), value_(initial) {

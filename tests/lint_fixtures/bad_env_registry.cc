@@ -1,0 +1,9 @@
+// Fixture: an undeclared BSS_* knob.  getenv of a variable that is not a row
+// in src/util/env_registry.h is an undocumented, unenumerable input — the
+// easiest place for a result-affecting switch to hide.
+#include <cstdlib>
+
+bool secret_knob_enabled() {
+  const char* raw = std::getenv("BSS_SECRET_UNDECLARED_KNOB");
+  return raw != nullptr && raw[0] == '1';
+}

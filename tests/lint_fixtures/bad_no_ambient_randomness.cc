@@ -1,0 +1,28 @@
+// Fixture: ambient randomness.  Every source here produces values no replay
+// can reproduce: random_device pulls hardware entropy, rand() hides global
+// state, and an argless engine seeds from an unspecified source.
+#include <cstdlib>
+#include <random>
+
+int entropy_pick(int bound) {
+  std::random_device device;
+  return static_cast<int>(device()) % bound;
+}
+
+int libc_pick(int bound) {
+  return rand() % bound;
+}
+
+void libc_seed() {
+  srand(42);
+}
+
+int argless_engine_pick(int bound) {
+  std::mt19937 gen;
+  return static_cast<int>(gen()) % bound;
+}
+
+int argless_engine64_pick(int bound) {
+  std::mt19937_64 gen{};
+  return static_cast<int>(gen() % static_cast<std::uint64_t>(bound));
+}

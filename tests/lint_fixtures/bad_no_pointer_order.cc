@@ -1,0 +1,25 @@
+// Fixture: raw pointer values used as ordering keys.  Addresses are
+// allocation order — ASLR and allocator state make them different every run,
+// so anything ordered by them is nondeterministic.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+struct Node {
+  int id = 0;
+};
+
+// Ordered set of pointers: iteration order == address order.
+using NodeSet = std::set<Node*>;
+
+// Ordered map keyed on a pointer.
+using NodeIndex = std::map<const Node*, int>;
+
+// Explicit address comparator.
+using NodeLess = std::less<Node*>;
+
+// Address laundered into an orderable/hashable integer.
+std::uint64_t node_key(const Node* node) {
+  return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(node));
+}

@@ -1,0 +1,20 @@
+// Fixture: wall-clock reads outside the timing quarantine.  A schedule hash
+// salted with the current time is different on every run — exactly the
+// hidden nondeterminism the rule exists to catch.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t schedule_salt() {
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(now.time_since_epoch().count());
+}
+
+std::uint64_t report_stamp() {
+  return static_cast<std::uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+}
+
+std::uint64_t fine_stamp() {
+  return static_cast<std::uint64_t>(
+      std::chrono::high_resolution_clock::now().time_since_epoch().count());
+}

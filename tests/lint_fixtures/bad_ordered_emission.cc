@@ -1,0 +1,17 @@
+// Fixture: unordered-container iteration feeding canonical output.  The
+// iteration order of an unordered_map depends on hash seeding, bucket count
+// and insertion history, so the emitted json document differs between runs
+// and between serial and parallel merges.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+std::string counters_to_json(
+    const std::unordered_map<std::string, std::uint64_t>& counters) {
+  std::string json = "{";
+  for (const auto& [name, value] : counters) {
+    json += "\"" + name + "\":" + std::to_string(value) + ",";
+  }
+  json += "}";
+  return json;
+}

@@ -1,0 +1,17 @@
+// Fixture: a declared BSS_* knob.  The self-test collects registry rows from
+// every fixture file, so the table below stands in for
+// src/util/env_registry.h; in the real tree the row would live there.
+#include <cstdlib>
+
+// Stand-in registry table (the linter reads X(BSS_..., rows textually):
+//
+//   X(BSS_FIXTURE_DEMO_KNOB, "fixture stand-in row")
+//
+// The row must be code, not comment, to count:
+#define FIXTURE_ENV_REGISTRY(X) \
+  X(BSS_FIXTURE_DEMO_KNOB, "fixture stand-in row")
+
+bool demo_knob_enabled() {
+  const char* raw = std::getenv("BSS_FIXTURE_DEMO_KNOB");
+  return raw != nullptr && raw[0] == '1';
+}

@@ -1,0 +1,19 @@
+// Fixture: seed-plumbed randomness.  The seed arrives as data (flag, test
+// parameter, printed-on-failure value), so any run can be replayed exactly —
+// the util/rng.h contract.
+#include <cstdint>
+#include <random>
+
+// A std engine is fine when the seed is explicit.
+int seeded_engine_pick(std::uint64_t seed, int bound) {
+  std::mt19937_64 gen(seed);
+  return static_cast<int>(gen() % static_cast<std::uint64_t>(bound));
+}
+
+// Deterministic mixing of a caller-supplied seed (splitmix64 step).
+std::uint64_t mix(std::uint64_t seed) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}

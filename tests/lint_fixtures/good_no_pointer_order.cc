@@ -1,0 +1,18 @@
+// Fixture: ordering by stable identity instead of by address.  Objects that
+// need an order carry an explicit id (pid, name, dense index) assigned
+// deterministically; pointers to them are only dereferenced, never compared.
+#include <map>
+#include <set>
+#include <string>
+
+struct Node {
+  int id = 0;
+};
+
+// Order by the deterministic id, not the allocation address.
+using NodeIdSet = std::set<int>;
+using NodeByName = std::map<std::string, Node>;
+
+int node_key(const Node& node) {
+  return node.id;
+}

@@ -1,0 +1,21 @@
+// Fixture: the compliant patterns for time.  Deterministic code takes
+// virtual time from the simulator (SimEnv's @clock) or a timestamp plumbed
+// in by the caller; a genuine timing-channel read carries the documented
+// suppression.
+#include <chrono>
+#include <cstdint>
+
+// Virtual time is a parameter, not an ambient read.
+std::uint64_t lease_expiry(std::uint64_t virtual_now, std::uint64_t ttl) {
+  return virtual_now + ttl;
+}
+
+// The one legitimate wall-clock shape outside bench// obs: quarantined
+// timing output, justified at the site.
+double wall_seconds() {
+  // bss-lint: wallclock-ok(fixture demo - feeds a quarantined timing field)
+  const auto begin = std::chrono::steady_clock::now();
+  // bss-lint: wallclock-ok(fixture demo - feeds a quarantined timing field)
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - begin).count();
+}

@@ -1,0 +1,34 @@
+// Fixture: the compliant patterns for emitting from an unordered container —
+// sort before emission (canonical order re-established downstream of the
+// loop), or a justified suppression when order provably cannot matter.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+std::string counters_to_json(
+    const std::unordered_map<std::string, std::uint64_t>& counters) {
+  std::vector<std::pair<std::string, std::uint64_t>> rows;
+  for (const auto& [name, value] : counters) {
+    rows.emplace_back(name, value);
+  }
+  std::sort(rows.begin(), rows.end());
+  std::string json = "{";
+  for (const auto& [name, value] : rows) {
+    json += "\"" + name + "\":" + std::to_string(value) + ",";
+  }
+  json += "}";
+  return json;
+}
+
+std::uint64_t counters_total_for_json(
+    const std::unordered_map<std::string, std::uint64_t>& counters) {
+  std::uint64_t total = 0;
+  // bss-lint: ordered-ok(sum is order-independent)
+  for (const auto& [name, value] : counters) {
+    total += value;
+  }
+  return total;
+}

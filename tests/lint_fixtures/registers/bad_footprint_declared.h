@@ -1,0 +1,31 @@
+// Fixture: a token-stamping register with no BSS_FOOTPRINT annotation at
+// all.  The POR layer trusts the declared op set; an unannotated register
+// has nothing for the linter (or a reviewer) to cross-check.
+#pragma once
+
+#include <string>
+
+namespace fixture {
+
+struct Ctx;  // stand-in for bss::sim::Ctx
+
+class UnannotatedRegister {
+ public:
+  int read(Ctx& ctx) const {
+    ctx.sync({name_, "read", 0, 0});
+    ctx.access_token().read(name_);
+    return value_;
+  }
+
+  void write(Ctx& ctx, int value) {
+    ctx.sync({name_, "write", value, 0});
+    ctx.access_token().write(name_);
+    value_ = value;
+  }
+
+ private:
+  std::string name_;
+  int value_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Fixture: annotation drift.  The implementation grew a "swap" op the
+// BSS_FOOTPRINT never learned about, and still declares a "cas" op that was
+// removed — both directions of drift must be findings.
+#pragma once
+
+#include <string>
+
+#define BSS_FOOTPRINT(...) static_assert(true, "fixture annotation")
+
+namespace fixture {
+
+struct Ctx;  // stand-in for bss::sim::Ctx
+
+class DriftedRegister {
+  BSS_FOOTPRINT(DriftedRegister, read, cas);
+
+ public:
+  int read(Ctx& ctx) const {
+    ctx.sync({name_, "read", 0, 0});
+    ctx.access_token().read(name_);
+    return value_;
+  }
+
+  int swap(Ctx& ctx, int next) {
+    ctx.sync({name_, "swap", next, 0});
+    ctx.access_token().write(name_);
+    const int prev = value_;
+    value_ = next;
+    return prev;
+  }
+
+ private:
+  std::string name_;
+  int value_ = 0;
+};
+
+}  // namespace fixture

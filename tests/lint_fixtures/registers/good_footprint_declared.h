@@ -1,0 +1,34 @@
+// Fixture: the compliant shape — the BSS_FOOTPRINT op set and the
+// ctx.sync({...}) op literals match exactly, one screen apart.
+#pragma once
+
+#include <string>
+
+#define BSS_FOOTPRINT(...) static_assert(true, "fixture annotation")
+
+namespace fixture {
+
+struct Ctx;  // stand-in for bss::sim::Ctx
+
+class AnnotatedRegister {
+  BSS_FOOTPRINT(AnnotatedRegister, read, write);
+
+ public:
+  int read(Ctx& ctx) const {
+    ctx.sync({name_, "read", 0, 0});
+    ctx.access_token().read(name_);
+    return value_;
+  }
+
+  void write(Ctx& ctx, int value) {
+    ctx.sync({name_, "write", value, 0});
+    ctx.access_token().write(name_);
+    value_ = value;
+  }
+
+ private:
+  std::string name_;
+  int value_ = 0;
+};
+
+}  // namespace fixture

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -360,6 +361,73 @@ TEST(Checkpoint, WriteIsAtomicReplacement) {
   EXPECT_EQ(read_file(path), "new contents\n");
   EXPECT_FALSE(std::ifstream(path + ".tmp").good())
       << "the temp file must not survive the rename";
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz-corpus regressions.  tools/fuzz/corpus/checkpoint holds the seed and
+// harvested inputs for fuzz_checkpoint; replaying them here keeps every
+// malformed shape a named, debuggable regression even without the fuzz
+// driver.  BSS_FUZZ_CORPUS_DIR is injected by tests/CMakeLists.txt.
+
+std::string read_corpus_file(const std::string& name) {
+  const std::string path =
+      std::string(BSS_FUZZ_CORPUS_DIR) + "/checkpoint/" + name;
+  std::ifstream stream(path, std::ios::binary);
+  EXPECT_TRUE(stream.is_open()) << "missing corpus file: " << path;
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  return buffer.str();
+}
+
+TEST(CheckpointCorpus, RealCampaignSeedRoundTripsByteIdentical) {
+  const std::string text = read_corpus_file("campaign.json");
+  std::string error;
+  const auto parsed = Checkpoint::from_artifact(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->to_artifact(), text)
+      << "a bench_explore-written checkpoint must already be canonical";
+}
+
+TEST(CheckpointCorpus, TruncatedRealArtifactIsRejectedWithReason) {
+  const std::string text = read_corpus_file("truncated.json");
+  std::string error;
+  EXPECT_FALSE(Checkpoint::from_artifact(text, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(CheckpointCorpus, SchemaOnlyDocumentIsRejectedWithReason) {
+  const std::string text = read_corpus_file("schema_only.json");
+  std::string error;
+  EXPECT_FALSE(Checkpoint::from_artifact(text, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(CheckpointCorpus, EveryCorpusFileParsesOrRejectsWithoutCrashing) {
+  const std::string dir = std::string(BSS_FUZZ_CORPUS_DIR) + "/checkpoint";
+  std::size_t seen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    ++seen;
+    std::ifstream stream(entry.path(), std::ios::binary);
+    std::ostringstream buffer;
+    buffer << stream.rdbuf();
+    const std::string text = buffer.str();
+    std::string error;
+    const auto parsed = Checkpoint::from_artifact(text, &error);
+    // The fuzz_checkpoint oracles: gate/parse agreement, reasons on
+    // rejection, to_artifact a fixed point on acceptance.
+    EXPECT_EQ(parsed.has_value(), validate_checkpoint(text).empty())
+        << entry.path();
+    if (!parsed.has_value()) {
+      EXPECT_FALSE(error.empty()) << entry.path();
+      continue;
+    }
+    const std::string round = parsed->to_artifact();
+    const auto reparsed = Checkpoint::from_artifact(round, &error);
+    ASSERT_TRUE(reparsed.has_value()) << entry.path() << ": " << error;
+    EXPECT_EQ(reparsed->to_artifact(), round) << entry.path();
+  }
+  EXPECT_GE(seen, 3u) << "corpus dir unexpectedly empty: " << dir;
 }
 
 }  // namespace

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -40,6 +42,7 @@ using explore::decode_action;
 using explore::encode_action;
 using explore::ExploreOptions;
 using explore::ExploreResult;
+using explore::kMaxActionPid;
 using explore::LlScSystem;
 using explore::OneShotSystem;
 using explore::RecoverableFvtSystem;
@@ -557,6 +560,70 @@ TEST(Artifact, RejectsMalformedFaultTokens) {
   EXPECT_FALSE(Counterexample::from_artifact(prefix + "decisions: -3\n"));
   EXPECT_FALSE(
       Counterexample::from_artifact("bss-counterexample v3\n" + prefix));
+}
+
+// Regression for a fuzz_counterexample finding: the header-count fields
+// went through bare std::stoi/std::stoull, so "processes: x" escaped
+// from_artifact as std::invalid_argument (terminate in noexcept callers),
+// an out-of-range count threw std::out_of_range, and stoull quietly
+// wrapped "shrunk-from: -1" to 2^64-1.  All must now parse to nullopt.
+TEST(Artifact, RejectsMalformedHeaderCounts) {
+  const auto artifact = [](const std::string& processes,
+                           const std::string& shrunk) {
+    return "bss-counterexample v1\nsystem: x\nprocesses: " + processes +
+           "\nshrunk-from: " + shrunk + "\nviolation: v\ndecisions: 0\n";
+  };
+  EXPECT_FALSE(Counterexample::from_artifact(artifact("x", "1")));
+  EXPECT_FALSE(Counterexample::from_artifact(artifact("", "1")));
+  EXPECT_FALSE(Counterexample::from_artifact(artifact("2x", "1")));
+  EXPECT_FALSE(Counterexample::from_artifact(artifact("-2", "1")));
+  EXPECT_FALSE(Counterexample::from_artifact(artifact("+2", "1")));
+  EXPECT_FALSE(Counterexample::from_artifact(artifact(" 2", "1")));
+  EXPECT_FALSE(
+      Counterexample::from_artifact(artifact("99999999999999999999", "1")));
+  EXPECT_FALSE(Counterexample::from_artifact(artifact("2", "-1")));
+  EXPECT_FALSE(Counterexample::from_artifact(artifact("2", "1.5")));
+  EXPECT_FALSE(
+      Counterexample::from_artifact(artifact("2", "99999999999999999999")));
+  // The boundary cases stay accepted: zero and kMaxActionPid + 1 processes.
+  EXPECT_TRUE(Counterexample::from_artifact(artifact("0", "0")).has_value());
+  const auto max_ok = Counterexample::from_artifact(
+      artifact(std::to_string(static_cast<long long>(kMaxActionPid) + 1),
+               "18446744073709551615"));
+  ASSERT_TRUE(max_ok.has_value());
+  EXPECT_EQ(max_ok->processes, kMaxActionPid + 1);
+}
+
+// Fuzz-corpus replay: tools/fuzz/corpus/counterexample checks in the seeds
+// and harvested crashers for fuzz_counterexample (the crash_stoi_* files
+// are the exact inputs that used to throw through from_artifact).
+TEST(Artifact, FuzzCorpusFilesParseOrRejectWithoutCrashing) {
+  const std::string dir =
+      std::string(BSS_FUZZ_CORPUS_DIR) + "/counterexample";
+  std::size_t seen = 0;
+  std::size_t accepted = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    ++seen;
+    std::ifstream stream(entry.path(), std::ios::binary);
+    std::ostringstream buffer;
+    buffer << stream.rdbuf();
+    const auto parsed = Counterexample::from_artifact(buffer.str());
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("crash_", 0) == 0 || name.rfind("wrap_", 0) == 0 ||
+        name.rfind("header_", 0) == 0) {
+      EXPECT_FALSE(parsed.has_value()) << entry.path();
+      continue;
+    }
+    if (!parsed.has_value()) continue;
+    ++accepted;
+    const std::string round = parsed->to_artifact();
+    const auto reparsed = Counterexample::from_artifact(round);
+    ASSERT_TRUE(reparsed.has_value()) << entry.path();
+    EXPECT_EQ(reparsed->to_artifact(), round) << entry.path();
+  }
+  EXPECT_GE(seen, 4u) << "corpus dir unexpectedly empty: " << dir;
+  EXPECT_GE(accepted, 2u) << "expected at least the two well-formed seeds";
 }
 
 TEST(Artifact, ActionEncodingRoundTrips) {

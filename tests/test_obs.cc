@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
@@ -540,6 +542,75 @@ TEST(ObsReport, ExploreEmitsValidRunReport) {
   EXPECT_EQ(report->system(), system.name());
   EXPECT_EQ(report->stat("schedules"), result.stats.schedules);
   EXPECT_EQ(report->stat("violations"), result.violations.size());
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz-corpus regressions.  tools/fuzz/corpus/runreport holds the seed and
+// harvested inputs for fuzz_runreport; replaying them here keeps each
+// malformed shape as a named, debuggable regression even without the fuzz
+// driver.  BSS_FUZZ_CORPUS_DIR is injected by tests/CMakeLists.txt.
+
+std::string read_corpus_file(const std::string& name) {
+  const std::string path =
+      std::string(BSS_FUZZ_CORPUS_DIR) + "/runreport/" + name;
+  std::ifstream stream(path, std::ios::binary);
+  EXPECT_TRUE(stream.is_open()) << "missing corpus file: " << path;
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  return buffer.str();
+}
+
+TEST(RunReportCorpus, MinimalSeedStaysValid) {
+  const std::string text = read_corpus_file("minimal.json");
+  EXPECT_TRUE(validate_runreport(text).empty());
+  ASSERT_TRUE(RunReport::parse(text).has_value());
+}
+
+TEST(RunReportCorpus, TruncatedDocumentIsRejectedNotCrashed) {
+  const std::string text = read_corpus_file("truncated.json");
+  EXPECT_FALSE(RunReport::parse(text).has_value());
+  EXPECT_FALSE(validate_runreport(text).empty());
+}
+
+TEST(RunReportCorpus, DuplicateKeyIsRejected) {
+  const std::string text = read_corpus_file("duplicate_key.json");
+  std::string error;
+  EXPECT_FALSE(json::Value::parse(text, &error).has_value());
+  EXPECT_FALSE(RunReport::parse(text).has_value());
+}
+
+TEST(RunReportCorpus, NonFiniteNumberIsRejected) {
+  const std::string text = read_corpus_file("huge_number.json");
+  std::string error;
+  EXPECT_FALSE(json::Value::parse(text, &error).has_value());
+  EXPECT_FALSE(RunReport::parse(text).has_value());
+}
+
+TEST(RunReportCorpus, EveryCorpusFileParsesOrRejectsWithoutCrashing) {
+  const std::string dir = std::string(BSS_FUZZ_CORPUS_DIR) + "/runreport";
+  std::size_t seen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    ++seen;
+    std::ifstream stream(entry.path(), std::ios::binary);
+    std::ostringstream buffer;
+    buffer << stream.rdbuf();
+    const std::string text = buffer.str();
+    // The full-validator / parse consistency oracle from fuzz_runreport:
+    // a validator-clean artifact must parse.
+    const auto report = RunReport::parse(text);
+    if (validate_runreport(text).empty()) {
+      EXPECT_TRUE(report.has_value()) << entry.path();
+    }
+    // And the canonical-JSON fixed point, when the text is JSON at all.
+    const auto value = json::Value::parse(text);
+    if (value.has_value()) {
+      const auto again = json::Value::parse(value->dump());
+      ASSERT_TRUE(again.has_value()) << entry.path();
+      EXPECT_TRUE(*again == *value) << entry.path();
+    }
+  }
+  EXPECT_GE(seen, 4u) << "corpus dir unexpectedly empty: " << dir;
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include "util/big_uint.h"
 #include "util/checked.h"
+#include "util/env_registry.h"
 #include "util/factoradic.h"
 #include "util/permutation.h"
 #include "util/rng.h"
@@ -224,6 +225,32 @@ TEST(BigUint, DecimalDigits) {
   EXPECT_EQ(BigUint(9).decimal_digits(), 1);
   EXPECT_EQ(BigUint(10).decimal_digits(), 2);
   EXPECT_EQ(BigUint::pow(10, 20).decimal_digits(), 21);
+}
+
+// The env registry is the single source of truth for the BSS_* knob
+// surface; bss_lint's env-registry rule flags any getenv("BSS_...") whose
+// name is missing from the table.  These pin the table's invariants so the
+// lint rule's ground truth stays well-formed.
+TEST(EnvRegistry, NamesAreSortedUniqueAndPrefixed) {
+  ASSERT_GT(env::kEnvRegistrySize, 0u);
+  for (std::size_t i = 0; i < env::kEnvRegistrySize; ++i) {
+    const env::EnvVar& var = env::kEnvRegistry[i];
+    EXPECT_TRUE(var.name.rfind("BSS_", 0) == 0) << var.name;
+    EXPECT_FALSE(var.doc.empty()) << var.name << " has no doc string";
+    if (i > 0) {
+      EXPECT_LT(env::kEnvRegistry[i - 1].name, var.name)
+          << "registry must stay sorted and duplicate-free";
+    }
+  }
+}
+
+TEST(EnvRegistry, LookupMatchesTheTable) {
+  for (std::size_t i = 0; i < env::kEnvRegistrySize; ++i) {
+    EXPECT_TRUE(env::is_registered_env(env::kEnvRegistry[i].name));
+  }
+  EXPECT_FALSE(env::is_registered_env("BSS_NOT_A_REAL_KNOB"));
+  EXPECT_FALSE(env::is_registered_env("PATH"));
+  EXPECT_FALSE(env::is_registered_env(""));
 }
 
 }  // namespace

@@ -1,0 +1,49 @@
+// Fuzz target for the bss-checkpoint v1 parser (Checkpoint::from_artifact
+// plus the validate_checkpoint CI-gate wrapper).  Checkpoints are the
+// durable resume state of long exploration campaigns, so a parser crash
+// here turns a corrupt file into a lost campaign.
+//
+// Oracles, beyond "does not crash":
+//   1. from_artifact and validate_checkpoint agree: parse success iff the
+//      validator reports no errors.
+//   2. A rejected artifact carries a non-empty one-line reason.
+//   3. to_artifact of an accepted checkpoint is a fixed point under
+//      re-parse (the header promises dump(parse(text)) byte-stability).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "explore/checkpoint.h"
+
+namespace {
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "fuzz_checkpoint: oracle failed: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > (1u << 20)) return 0;  // parser is linear; cap work per input
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  std::string error;
+  const auto parsed = bss::explore::Checkpoint::from_artifact(text, &error);
+  const auto gate = bss::explore::validate_checkpoint(text);
+  if (parsed.has_value() != gate.empty()) {
+    die("from_artifact and validate_checkpoint disagree");
+  }
+  if (!parsed.has_value()) {
+    if (error.empty()) die("rejection without a reason");
+    return 0;
+  }
+
+  const std::string round = parsed->to_artifact();
+  const auto reparsed = bss::explore::Checkpoint::from_artifact(round, &error);
+  if (!reparsed.has_value()) die("accepted artifact rejected after round-trip");
+  if (reparsed->to_artifact() != round) die("to_artifact is not a fixed point");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fuzz target for the bss-counterexample artifact parser
+// (Counterexample::from_artifact), the oldest and least structured of the
+// three artifact grammars: a line-oriented token format, not JSON.
+//
+// Oracles, beyond "does not crash":
+//   1. An accepted artifact re-serializes (to_artifact) into text the
+//      parser accepts again.
+//   2. to_artifact is a fixed point: serialize(parse(serialize(x))) is
+//      byte-identical to serialize(x).  Replay tooling diffs artifacts
+//      byte-for-byte, so drift here breaks real workflows.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "explore/explore.h"
+
+namespace {
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "fuzz_counterexample: oracle failed: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > (1u << 20)) return 0;  // parser is linear; cap work per input
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  const auto parsed = bss::explore::Counterexample::from_artifact(text);
+  if (!parsed.has_value()) return 0;
+
+  const std::string round = parsed->to_artifact();
+  const auto reparsed = bss::explore::Counterexample::from_artifact(round);
+  if (!reparsed.has_value()) die("accepted artifact rejected after round-trip");
+  if (reparsed->to_artifact() != round) die("to_artifact is not a fixed point");
+  return 0;
+}
