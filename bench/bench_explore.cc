@@ -34,10 +34,11 @@
 // comparison for a determinism violation.
 //
 // `--campaign NAME [--checkpoint PATH] [--checkpoint-every N]
-// [--resume PATH]` runs ONE long campaign instead of the tables — the
-// checkpoint/resume smoke: CI starts a campaign with a checkpoint path,
+// [--resume PATH] [--status PATH] [--status-every MS]` runs ONE long
+// campaign instead of the tables — the checkpoint/resume smoke: CI starts
+// a campaign with a checkpoint path (and a bss-status v1 heartbeat path),
 // SIGKILLs the process mid-run, resumes from the artifact, and validates
-// the final runreport and checkpoint with tools/report_check.
+// the final runreport, checkpoint and heartbeat with tools/report_check.
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -494,19 +495,23 @@ void print_prune_json(const std::vector<PruneRow>& rows,
 
 /// One observability configuration of the refutation workload.
 struct OverheadRow {
-  std::string mode;  ///< "off", "metrics", "metrics+events"
+  std::string mode;  ///< "off", "metrics", …, "status", "status+profile"
   double seconds = 0;
   std::uint64_t schedules = 0;
   bool identical = true;  ///< results byte-identical to the "off" baseline
 };
 
 /// Runs the mutant-refutation workload under telemetry off / metrics-only /
-/// metrics+events / fully-audited and cross-checks that stats, coverage and
-/// every violation tape are byte-identical — the ObsSink (and audit)
-/// passivity contract, asserted on the benchmark workload itself.  The
-/// "off" row is the replay fast path (no token stamping, no sink dispatch);
-/// "audited" is the slow path with every schedule commute-cross-checked,
-/// and the off/audited rate ratio is the fast path's before/after headline.
+/// metrics+events / status heartbeat / status+profiler / fully-audited and
+/// cross-checks that stats, coverage and every violation tape are
+/// byte-identical — the ObsSink (and audit) passivity contract, asserted on
+/// the benchmark workload itself.  The "off" row is the replay fast path
+/// (no token stamping, no sink dispatch); "status" writes a live bss-status
+/// heartbeat at an aggressive 50ms cadence and "status+profile" adds the
+/// phase self-profiler, so the table carries the introspection layers'
+/// overhead next to the layers they ride on; "audited" is the slow path
+/// with every schedule commute-cross-checked, and the off/audited rate
+/// ratio is the fast path's before/after headline.
 std::vector<OverheadRow> run_overhead(int jobs) {
   bss::explore::OneShotSystem claim_after(
       4, 3, bss::core::OneShotMutant::kClaimAfterCas);
@@ -514,14 +519,20 @@ std::vector<OverheadRow> run_overhead(int jobs) {
                                         bss::core::OneShotMutant::kSplitCas);
   const std::vector<const ExplorableSystem*> mutants = {&claim_after,
                                                         &split_cas};
+  const char* status_path = "bench_explore_overhead.status.json";
 
   std::vector<OverheadRow> rows;
   std::vector<ExploreResult> baseline;
-  for (const char* mode : {"off", "metrics", "metrics+events", "audited"}) {
+  for (const char* mode : {"off", "metrics", "metrics+events", "status",
+                           "status+profile", "audited"}) {
+    const std::string mode_name(mode);
+    const bool status_mode =
+        mode_name == "status" || mode_name == "status+profile";
     bss::obs::Telemetry::Options obs_options;
-    obs_options.metrics = std::string(mode) != "off";
-    obs_options.events = std::string(mode) == "metrics+events" ||
-                         std::string(mode) == "audited";
+    obs_options.metrics = mode_name != "off" && !status_mode;
+    obs_options.events =
+        mode_name == "metrics+events" || mode_name == "audited";
+    obs_options.profile = mode_name == "status+profile";
     bss::obs::Telemetry telemetry(obs_options);
 
     OverheadRow row;
@@ -537,8 +548,14 @@ std::vector<OverheadRow> run_overhead(int jobs) {
       std::vector<ExploreResult> pass;
       for (const ExplorableSystem* system : mutants) {
         ExploreOptions options = refutation_options(jobs);
-        if (std::string(mode) != "off") options.telemetry = &telemetry;
-        if (std::string(mode) == "audited") {
+        if (mode_name != "off" && mode_name != "status") {
+          options.telemetry = &telemetry;
+        }
+        if (status_mode) {
+          options.status_path = status_path;
+          options.status_every_ms = 50;
+        }
+        if (mode_name == "audited") {
           options.audit = true;
           options.audit_commute_sample = 1;
         }
@@ -561,6 +578,7 @@ std::vector<OverheadRow> run_overhead(int jobs) {
     if (baseline.empty()) baseline = std::move(results);
     rows.push_back(std::move(row));
   }
+  std::remove(status_path);
   return rows;
 }
 
@@ -643,6 +661,8 @@ int run_campaign(const bss::bench::BenchFlags& flags) {
     options.checkpoint_every = flags.checkpoint_every;
   }
   options.resume_path = flags.resume;
+  options.status_path = flags.status;
+  options.status_every_ms = flags.status_every;
 
   Row row;
   if (flags.campaign == "skewed") {

@@ -38,6 +38,8 @@ struct BenchFlags {
   std::string checkpoint;        ///< ExploreOptions::checkpoint_path
   std::uint64_t checkpoint_every = 0;  ///< 0 keeps the explorer default
   std::string resume;            ///< ExploreOptions::resume_path
+  std::string status;            ///< ExploreOptions::status_path
+  std::uint64_t status_every = 0;  ///< milliseconds; 0 keeps the default
 };
 
 inline void print_usage(const char* program, bool accepts_jobs,
@@ -50,6 +52,7 @@ inline void print_usage(const char* program, bool accepts_jobs,
                accepts_checkpoint
                    ? " [--campaign NAME] [--checkpoint PATH]"
                      " [--checkpoint-every N] [--resume PATH]"
+                     " [--status PATH] [--status-every MS]"
                    : "");
   if (accepts_json) {
     std::fprintf(stderr, "  --json     print rows as a JSON array\n");
@@ -75,7 +78,11 @@ inline void print_usage(const char* program, bool accepts_jobs,
                  "  --checkpoint-every N checkpoint cadence in schedules "
                  "(default: explorer default)\n"
                  "  --resume PATH        resume the campaign from a "
-                 "bss-checkpoint v1 artifact\n",
+                 "bss-checkpoint v1 artifact\n"
+                 "  --status PATH        write a live bss-status v1 "
+                 "heartbeat to PATH during the campaign\n"
+                 "  --status-every MS    heartbeat cadence in milliseconds "
+                 "(default 1000)\n",
                  campaigns.empty() ? "none defined"
                                    : campaign_list(campaigns).c_str());
   }
@@ -119,11 +126,11 @@ inline BenchFlags parse_flags(int argc, char** argv, bool accepts_jobs,
     if (value[0] == '\0') fail();
     *into = value;
   };
-  const auto parse_every = [&](const char* value) {
+  const auto parse_every = [&](const char* value, std::uint64_t* into) {
     char* end = nullptr;
     const long long parsed = std::strtoll(value, &end, 10);
     if (end == value || *end != '\0' || parsed < 1) fail();
-    flags.checkpoint_every = static_cast<std::uint64_t>(parsed);
+    *into = static_cast<std::uint64_t>(parsed);
   };
   // Flags taking a value accept both "--flag VALUE" and "--flag=VALUE".
   const auto value_of = [&](const std::string& arg, const char* name,
@@ -160,10 +167,15 @@ inline BenchFlags parse_flags(int argc, char** argv, bool accepts_jobs,
       parse_string(value, &flags.checkpoint);
     } else if (accepts_checkpoint &&
                (value = value_of(arg, "--checkpoint-every", &i))) {
-      parse_every(value);
+      parse_every(value, &flags.checkpoint_every);
     } else if (accepts_checkpoint &&
                (value = value_of(arg, "--resume", &i))) {
       parse_string(value, &flags.resume);
+    } else if (accepts_checkpoint && (value = value_of(arg, "--status", &i))) {
+      parse_string(value, &flags.status);
+    } else if (accepts_checkpoint &&
+               (value = value_of(arg, "--status-every", &i))) {
+      parse_every(value, &flags.status_every);
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
                    arg.c_str());
@@ -174,6 +186,12 @@ inline BenchFlags parse_flags(int argc, char** argv, bool accepts_jobs,
       flags.campaign.empty()) {
     std::fprintf(stderr,
                  "%s: --checkpoint/--resume require --campaign\n", argv[0]);
+    fail();
+  }
+  if ((!flags.status.empty() || flags.status_every != 0) &&
+      flags.campaign.empty()) {
+    std::fprintf(stderr,
+                 "%s: --status/--status-every require --campaign\n", argv[0]);
     fail();
   }
   if (!flags.campaign.empty()) {

@@ -222,6 +222,8 @@ int run_campaign(const bss::bench::BenchFlags& flags) {
     options.checkpoint_every = flags.checkpoint_every;
   }
   options.resume_path = flags.resume;
+  options.status_path = flags.status;
+  options.status_every_ms = flags.status_every;
 
   LeaseServiceSystem system(small_config(3));
   const SweepRow row = timed_explore("campaign:exhaustive[n=3,fb=1]", system,

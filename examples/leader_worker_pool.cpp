@@ -16,9 +16,13 @@
 // Every run's lease ledger is checked for the safety property "no two
 // processes ever hold overlapping valid leases".  With --out PATH the run
 // emits a bss-runreport v1 with the service.* stat family, schema-gated by
-// the same validator CI uses (tools/report_check).
+// the same validator CI uses (tools/report_check).  With --status PATH (or
+// BSS_STATUS) a live bss-status v1 heartbeat tracks the soak: one storm
+// counts as one schedule, the planned storm total is the bound, so
+// tools/bss_top shows progress and an ETA while the soak runs.
 //
 //   ./leader_worker_pool [--soak] [--seed N] [--out PATH]
+//                        [--status PATH] [--status-every MS]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +32,7 @@
 
 #include "obs/obs.h"
 #include "obs/runreport.h"
+#include "obs/status.h"
 #include "runtime/fault_plan.h"
 #include "runtime/scheduler.h"
 #include "runtime/sim_env.h"
@@ -98,6 +103,8 @@ int main(int argc, char** argv) {
   bool soak = false;
   std::uint64_t base_seed = 1;
   std::string out_path;
+  std::string status_path;
+  std::uint64_t status_every = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--soak") {
@@ -106,9 +113,15 @@ int main(int argc, char** argv) {
       base_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--status" && i + 1 < argc) {
+      status_path = argv[++i];
+    } else if (arg == "--status-every" && i + 1 < argc) {
+      status_every = std::strtoull(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--soak] [--seed N] [--out PATH]\n", argv[0]);
+                   "usage: %s [--soak] [--seed N] [--out PATH]"
+                   " [--status PATH] [--status-every MS]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -117,11 +130,32 @@ int main(int argc, char** argv) {
   const int sim_runs = soak ? 400 : 40;
   const int thread_runs = soak ? 200 : 20;
 
+  // --- heartbeat: one storm == one "schedule", bounded by the plan -------
+  bss::obs::StatusWriter status_writer(status_path, status_every);
+  const std::uint64_t planned =
+      static_cast<std::uint64_t>(sim_runs + thread_runs);
+  int violations = 0;
+  std::uint64_t storms_done = 0;
+  const auto heartbeat = [&](std::uint64_t backend_index, std::string state) {
+    if (!status_writer.enabled()) return;
+    bss::obs::Status s;
+    s.producer = "leader_worker_pool";
+    s.system = "lease[n=" + std::to_string(config.n) + "]";
+    s.state = std::move(state);
+    s.schedules = storms_done;
+    s.violations = static_cast<std::uint64_t>(violations);
+    s.frontier = planned - storms_done;
+    s.max_schedules = planned;
+    s.passes = backend_index;  // 0 = sim backend, 1 = thread backend
+    s.jobs = 1;
+    status_writer.write(std::move(s));
+  };
+  heartbeat(0, "running");  // seq 0: the soak is visible immediately
+
   // --- sim backend: seeded random storms through the simulator -----------
   bss::obs::Telemetry telemetry;  // lifecycle events from the FIRST run only
   LeaseStats sim_stats;
   int sim_restarts = 0;
-  int violations = 0;
   for (int run = 0; run < sim_runs; ++run) {
     const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(run);
     const auto verdict = run_sim_storm(config, seed, sim_stats, sim_restarts,
@@ -130,6 +164,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "sim VIOLATION: %s\n", verdict->c_str());
       ++violations;
     }
+    ++storms_done;
+    if (status_writer.due()) heartbeat(0, "running");
   }
   std::printf("sim    %4d seeded storms  n=%d  restarts=%d  acquired=%llu  "
               "takeovers=%llu  step-downs=%llu  violations=%d\n",
@@ -156,7 +192,10 @@ int main(int argc, char** argv) {
                    report.violation->c_str());
       ++violations;
     }
+    ++storms_done;
+    if (status_writer.due()) heartbeat(1, "running");
   }
+  heartbeat(1, "complete");  // terminal: unconditional, final totals
   std::printf("thread %4d seeded storms  n=%d  restarts=%d  spurious-sc=%d  "
               "acquired=%llu  step-downs=%llu  violations=%d\n",
               thread_runs, config.n, thread_restarts, thread_spurious,

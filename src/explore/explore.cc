@@ -11,6 +11,7 @@
 #include <limits>
 #include <list>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <sstream>
@@ -22,6 +23,7 @@
 #include "audit/ledger.h"
 #include "explore/checkpoint.h"
 #include "obs/obs.h"
+#include "obs/status.h"
 #include "runtime/sim_env.h"
 #include "util/checked.h"
 
@@ -192,6 +194,7 @@ struct ObsCtx {
   obs::ObsSink* sink = nullptr;
   obs::MetricShard* shard = nullptr;
   int worker = obs::Event::kCoordinator;
+  obs::PhaseProfiler* profiler = nullptr;
 };
 
 ObsCtx make_obs_ctx(obs::ObsSink* sink, int worker) {
@@ -199,6 +202,7 @@ ObsCtx make_obs_ctx(obs::ObsSink* sink, int worker) {
   octx.sink = sink;
   octx.shard = sink != nullptr ? sink->metric_shard(worker) : nullptr;
   octx.worker = worker;
+  octx.profiler = sink != nullptr ? sink->profiler() : nullptr;
   return octx;
 }
 
@@ -604,6 +608,7 @@ struct RunOutcome {
 RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
                    PassState& pass, UnitResult& unit, std::size_t shard_at,
                    const ObsCtx& octx, Scratch& scratch) {
+  const obs::ScopedPhase step_scope(octx.profiler, obs::Phase::kStep);
   RunOutcome outcome;
   std::uint64_t run_transitions = 0;
   std::uint64_t run_timer_grants = 0;
@@ -783,6 +788,7 @@ RunOutcome run_one(const ExplorableSystem& system, const ExploreOptions& opts,
     // Differential cross-check of the POR commutation oracle: replay this
     // schedule with adjacent independent operations swapped; any deviation
     // in the final state refutes ops_commute (and with it the sleep sets).
+    const obs::ScopedPhase audit_scope(octx.profiler, obs::Phase::kAudit);
     const audit::CommuteCheckReport cross = audit::cross_check_commutation(
         system, actions, [](const sim::OpDesc& a, const sim::OpDesc& b) {
           return ops_commute(a, b);
@@ -847,6 +853,9 @@ struct TapeResult {
 TapeResult run_tape(const ExplorableSystem& system, const ExploreOptions& opts,
                     const std::vector<int>& tape,
                     obs::ObsSink* env_sink = nullptr) {
+  const obs::ScopedPhase replay_scope(
+      opts.telemetry != nullptr ? opts.telemetry->profiler() : nullptr,
+      obs::Phase::kReplay);
   TapeResult result;
   auto instance = system.make();
   sim::SimOptions sim_options;
@@ -1359,6 +1368,7 @@ struct StealUnit {
   UnitResult result;
   Status status = Status::kPending;
   bool abort = false;  ///< deterministic stop confirmed before this unit ran
+  bool stolen = false;  ///< unit was split off a victim (worker-beat steals)
 };
 
 /// Shared state of one stealing pass.  The std::list gives iterator-stable
@@ -1407,6 +1417,7 @@ bool try_split(PassState& pass, int steal_depth, StealUnit& thief) {
                         pass.frames.begin() + static_cast<std::ptrdiff_t>(d));
     thief.frames.push_back(std::move(probe));
     thief.floor = pass.floor;
+    thief.stolen = true;
     pass.floor = d + 1;
     return true;
   }
@@ -1570,6 +1581,76 @@ struct CheckpointCtx {
   const std::vector<FingerprintPartial>* restored_partials = nullptr;
 };
 
+/// Fingerprint-prune hit rate in parts per million of all schedule
+/// attempts (prunes / (prunes + completed schedules)).  Integer so the
+/// status artifact's deterministic channel never carries a double.
+std::uint64_t fp_hit_ppm(std::uint64_t prunes, std::uint64_t schedules) {
+  const std::uint64_t attempts = prunes + schedules;
+  if (attempts == 0) return 0;
+  return prunes * 1'000'000 / attempts;
+}
+
+/// Heartbeat state threaded through a campaign (ExploreOptions::status_path
+/// or BSS_STATUS): the writer's `seq` spans passes, the pass fields are
+/// refreshed by explore() before each pass, and `merged`/`ckpt` point at
+/// state owned by explore().  Strictly passive — nothing here may feed back
+/// into an exploration decision.
+struct StatusCtx {
+  obs::StatusWriter writer;
+  std::string system;
+  std::uint64_t max_schedules = 0;
+  std::uint64_t jobs = 0;
+  std::uint64_t pass_ordinal = 0;
+  const ExploreResult* merged = nullptr;
+  const CheckpointCtx* ckpt = nullptr;
+
+  StatusCtx(std::string path, std::uint64_t every_ms)
+      : writer(std::move(path), every_ms) {}
+
+  /// Snapshot of the merged-prefix counters (between passes these are the
+  /// campaign totals; the steal pass's heartbeat thread overlays its live
+  /// view on top of this base).
+  obs::Status snapshot(std::string state) const {
+    obs::Status s;
+    s.producer = "explore()";
+    s.system = system;
+    s.state = std::move(state);
+    s.schedules = merged->stats.schedules;
+    s.violations = merged->violations.size();
+    s.fingerprint_prunes = merged->stats.fingerprint_prunes;
+    s.fingerprint_hit_rate_ppm =
+        fp_hit_ppm(s.fingerprint_prunes, s.schedules);
+    s.checkpoints = ckpt != nullptr ? ckpt->written : 0;
+    s.max_schedules = max_schedules;
+    s.passes = pass_ordinal;
+    s.jobs = jobs;
+    return s;
+  }
+};
+
+/// Per-worker heartbeat cells, allocated only when a status file is on.
+/// Workers publish with relaxed stores; the heartbeat thread reads them
+/// approximately — nothing here is part of the deterministic result.
+struct WorkerBeat {
+  static constexpr int kIdle = 0;
+  static constexpr int kRunning = 1;
+  static constexpr int kStealing = 2;
+  std::atomic<int> state{kIdle};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> schedules{0};
+};
+
+const char* beat_state_name(int state) {
+  switch (state) {
+    case WorkerBeat::kRunning:
+      return "running";
+    case WorkerBeat::kStealing:
+      return "stealing";
+    default:
+      return "idle";
+  }
+}
+
 struct StealPassOutput {
   std::vector<PassUnit> units;  ///< DFS order, every unit complete
   bool halted = false;          ///< halt_after_checkpoints fired mid-pass
@@ -1583,11 +1664,14 @@ struct StealPassOutput {
 /// owner that observes a due checkpoint persists the folded prefix plus the
 /// outstanding frontier snapshots.  `seeds` (non-null on the resumed pass)
 /// re-materializes a persisted frontier instead of starting from the root.
+/// `status` (non-null when a heartbeat file is on) gets a dedicated thread
+/// that periodically overlays the pool's live counters on the merged-prefix
+/// base and writes the bss-status artifact — read-only w.r.t. the pool.
 StealPassOutput run_steal_pass(const ExplorableSystem& system,
                                const ExploreOptions& opts,
                                const PassConfig& cfg, SharedBudget& budget,
                                const std::vector<CheckpointUnit>* seeds,
-                               CheckpointCtx* ckpt) {
+                               CheckpointCtx* ckpt, StatusCtx* status) {
   StealPassOutput output;
   StealPool pool;
   if (seeds != nullptr) {
@@ -1612,6 +1696,12 @@ StealPassOutput run_steal_pass(const ExplorableSystem& system,
           ? opts.max_violations - cfg.violations_so_far
           : 1;
   const int steal_depth = std::max(opts.steal_depth, 0);
+  const int nworkers = std::max(cfg.jobs, 1);
+  const bool status_on = status != nullptr && status->writer.enabled();
+  std::unique_ptr<WorkerBeat[]> beats;
+  if (status_on) {
+    beats = std::make_unique<WorkerBeat[]>(static_cast<std::size_t>(nworkers));
+  }
 
   const auto refresh_attention = [&] {  // pool.mu held
     pool.attention.store(
@@ -1665,6 +1755,8 @@ StealPassOutput run_steal_pass(const ExplorableSystem& system,
   /// got this far; the rest of the frontier is serialized as outstanding
   /// work.
   const auto write_checkpoint = [&](const ObsCtx& octx) {
+    const obs::ScopedPhase checkpoint_scope(octx.profiler,
+                                            obs::Phase::kCheckpointWrite);
     Checkpoint cp;
     cp.seq = ckpt->seq++;
     cp.system = system.name();
@@ -1728,6 +1820,7 @@ StealPassOutput run_steal_pass(const ExplorableSystem& system,
             "failed to write checkpoint artifact: " + opts.checkpoint_path);
     ++ckpt->written;
     ++ckpt->periodic;
+    if (status != nullptr) status->writer.note_checkpoint();
     pool.last_checkpoint_at.store(
         budget.schedules.load(std::memory_order_relaxed),
         std::memory_order_relaxed);
@@ -1747,6 +1840,8 @@ StealPassOutput run_steal_pass(const ExplorableSystem& system,
   const auto worker = [&](int worker_index) {
     try {
       const ObsCtx octx = make_obs_ctx(sink, worker_index);
+      WorkerBeat* const beat =
+          beats != nullptr ? &beats[worker_index] : nullptr;
       if (events) {
         obs::Event event;
         event.kind = "worker.start";
@@ -1773,6 +1868,10 @@ StealPassOutput run_steal_pass(const ExplorableSystem& system,
             if (self != pool.units.end() || pool.running == 0) break;
             ++pool.idle;
             refresh_attention();
+            if (beat != nullptr) {
+              beat->state.store(WorkerBeat::kStealing,
+                                std::memory_order_relaxed);
+            }
             pool.cv.wait(lock);
             --pool.idle;
             refresh_attention();
@@ -1786,6 +1885,12 @@ StealPassOutput run_steal_pass(const ExplorableSystem& system,
           pass.frames = self->frames;
           pass.floor = self->floor;
           local = self->result;
+          if (beat != nullptr) {
+            beat->state.store(WorkerBeat::kRunning, std::memory_order_relaxed);
+            if (self->stolen) {
+              beat->steals.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
         }
         if (events) {
           obs::Event event;
@@ -1857,6 +1962,9 @@ StealPassOutput run_steal_pass(const ExplorableSystem& system,
           RunOutcome outcome =
               run_one(system, opts, pass, local, 0, octx, scratch);
           if (!outcome.pruned) {
+            if (beat != nullptr) {
+              beat->schedules.fetch_add(1, std::memory_order_relaxed);
+            }
             const std::uint64_t claimed =
                 budget.schedules.fetch_add(1, std::memory_order_relaxed) + 1;
             if (ckpt != nullptr && opts.checkpoint_every > 0 &&
@@ -1916,6 +2024,9 @@ StealPassOutput run_steal_pass(const ExplorableSystem& system,
           sink->record_span(std::move(span));
         }
       }
+      if (beat != nullptr) {
+        beat->state.store(WorkerBeat::kIdle, std::memory_order_relaxed);
+      }
       if (events) {
         obs::Event event;
         event.kind = "worker.finish";
@@ -1938,7 +2049,57 @@ StealPassOutput run_steal_pass(const ExplorableSystem& system,
     std::lock_guard<std::mutex> lock(pool.mu);
     walk_frontier();  // a restored frontier may already confirm a stop
   }
-  const int nworkers = std::max(cfg.jobs, 1);
+
+  // The heartbeat thread: overlays the pool's live counters on the merged
+  // prefix and writes the status file whenever the cadence is due.  It only
+  // ever reads pool state (under pool.mu) and worker beats (relaxed), so it
+  // cannot perturb the exploration — kill it and the campaign is identical.
+  std::mutex status_mu;
+  std::condition_variable status_cv;
+  bool status_stop = false;
+  const auto build_status = [&] {
+    obs::Status s = status->snapshot("running");
+    s.schedules = budget.schedules.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(pool.mu);
+      s.violations = pool.frontier_violations;
+      std::uint64_t frontier = 0;
+      std::uint64_t prunes = status->merged->stats.fingerprint_prunes;
+      for (const StealUnit& unit : pool.units) {
+        if (unit.status != StealUnit::Status::kComplete) ++frontier;
+        prunes += unit.result.stats.fingerprint_prunes;
+      }
+      s.frontier = frontier;
+      s.fingerprint_prunes = prunes;
+      s.checkpoints = status->ckpt != nullptr ? status->ckpt->written : 0;
+    }
+    s.fingerprint_hit_rate_ppm =
+        fp_hit_ppm(s.fingerprint_prunes, s.schedules);
+    for (int i = 0; i < nworkers; ++i) {
+      obs::WorkerStatus w;
+      w.worker = i;
+      w.state = beat_state_name(beats[i].state.load(std::memory_order_relaxed));
+      w.steals = beats[i].steals.load(std::memory_order_relaxed);
+      w.schedules = beats[i].schedules.load(std::memory_order_relaxed);
+      s.workers.push_back(std::move(w));
+    }
+    return s;
+  };
+  const auto status_loop = [&] {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(status_mu);
+        status_cv.wait_for(lock, std::chrono::milliseconds(25),
+                           [&] { return status_stop; });
+        if (status_stop) return;
+      }
+      if (!status->writer.due()) continue;
+      status->writer.write(build_status());
+    }
+  };
+  std::thread status_thread;
+  if (status_on) status_thread = std::thread(status_loop);
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nworkers - 1));
   for (int i = 1; i < nworkers; ++i) {
@@ -1946,6 +2107,14 @@ StealPassOutput run_steal_pass(const ExplorableSystem& system,
   }
   worker(0);  // the calling thread is worker 0
   for (auto& t : threads) t.join();
+  if (status_on) {
+    {
+      std::lock_guard<std::mutex> lock(status_mu);
+      status_stop = true;
+    }
+    status_cv.notify_all();
+    status_thread.join();
+  }
   if (pool.error) std::rethrow_exception(pool.error);
   if (pool.halt) {
     output.halted = true;
@@ -2011,6 +2180,9 @@ Counterexample minimize_counterexample(const ExplorableSystem& system,
                                        ExploreStats* stats) {
   ExploreOptions options = requested;
   options.audit = resolve_audit(requested);
+  const obs::ScopedPhase ddmin_scope(
+      options.telemetry != nullptr ? options.telemetry->profiler() : nullptr,
+      obs::Phase::kDdmin);
   std::uint64_t used = 0;
   const auto count_run = [&] {
     ++used;
@@ -2131,6 +2303,8 @@ ExploreResult explore(const ExplorableSystem& system,
   obs::ObsSink* sink = options.telemetry;
   const bool events = sink != nullptr && sink->events_enabled();
   const bool spans = sink != nullptr && sink->timeline_enabled();
+  obs::PhaseProfiler* const profiler =
+      sink != nullptr ? sink->profiler() : nullptr;
   // bss-lint: wallclock-ok(feeds only the runreport "timing" section)
   const auto wall_begin = std::chrono::steady_clock::now();
   if (events) {
@@ -2261,6 +2435,24 @@ ExploreResult explore(const ExplorableSystem& system,
     if (options.fingerprint_prune) ckpt->fp_cache = &fp_cache;
   }
 
+  // The heartbeat writer (bss-status v1): enabled by status_path or
+  // BSS_STATUS, purely observational.  The seq-0 snapshot goes out before
+  // the first pass so monitors see the campaign (and any resumed prefix)
+  // immediately.
+  StatusCtx status_state(options.status_path, options.status_every_ms);
+  StatusCtx* const status =
+      status_state.writer.enabled() ? &status_state : nullptr;
+  if (status != nullptr) {
+    status_state.system = system.name();
+    status_state.max_schedules = options.max_schedules;
+    status_state.jobs = static_cast<std::uint64_t>(jobs);
+    status_state.pass_ordinal = pass_ordinal;
+    status_state.merged = &result;
+    status_state.ckpt = ckpt;
+    status_state.writer.set_profiler(profiler);
+    status->writer.write(status->snapshot("running"));
+  }
+
   bool halted = false;
   for (std::size_t fi = start_fault;
        !skip_passes && !halted && fi < fault_budgets.size(); ++fi) {
@@ -2308,11 +2500,12 @@ ExploreResult explore(const ExplorableSystem& system,
         ckpt->restored_partials =
             resumed_pass ? &restored_fp_partials : nullptr;
       }
+      if (status != nullptr) status->pass_ordinal = this_pass;
       std::vector<PassUnit> units;
       if (options.steal) {
         StealPassOutput out = run_steal_pass(
             system, options, cfg, budget_valve,
-            resumed_pass ? &resume->frontier : nullptr, ckpt);
+            resumed_pass ? &resume->frontier : nullptr, ckpt, status);
         if (out.halted) {
           halted = true;
           break;
@@ -2322,7 +2515,11 @@ ExploreResult explore(const ExplorableSystem& system,
         units = run_pass(system, options, cfg, budget_valve);
       }
       const std::uint64_t merge_begin = spans ? sink->now_ns() : 0;
-      MergeOutcome merged = merge_pass(units, options, result, fault_points);
+      MergeOutcome merged;
+      {
+        const obs::ScopedPhase merge_scope(profiler, obs::Phase::kMerge);
+        merged = merge_pass(units, options, result, fault_points);
+      }
       if (resumed_pass) {
         // The folded prefix of the resumed pass contributed these flags
         // before the kill; the frontier units cannot re-derive them.
@@ -2370,6 +2567,11 @@ ExploreResult explore(const ExplorableSystem& system,
           if (!dirty) fp_cache.insert(key);
         }
       }
+      // Pass-boundary heartbeat (both engines — the static engine has no
+      // in-pass writer thread): cadence-gated so tiny passes don't spam.
+      if (status != nullptr && status->writer.due()) {
+        status->writer.write(status->snapshot("running"));
+      }
       if (cap_hit || stopped) break;
       if (!merged.budget_limited) break;  // space covered at this budget
     }
@@ -2396,6 +2598,8 @@ ExploreResult explore(const ExplorableSystem& system,
   if (ckpt != nullptr) {
     // The final, `complete` checkpoint: the whole merged result, an empty
     // frontier.  Resuming from it just re-emits the same result.
+    const obs::ScopedPhase checkpoint_scope(profiler,
+                                            obs::Phase::kCheckpointWrite);
     Checkpoint cp;
     cp.seq = ckpt->seq++;
     cp.system = system.name();
@@ -2417,6 +2621,7 @@ ExploreResult explore(const ExplorableSystem& system,
             "failed to write checkpoint artifact: " + options.checkpoint_path);
     ++ckpt->written;
     result.checkpoints_written = ckpt->written;
+    if (status != nullptr) status->writer.note_checkpoint();
   }
 
   if (sink != nullptr) {
@@ -2498,6 +2703,12 @@ ExploreResult explore(const ExplorableSystem& system,
                         static_cast<double>(wall_ns));
     }
     sink->report(report);
+  }
+  if (status != nullptr) {
+    // Terminal heartbeat: unconditional (cadence ignored) so monitors see
+    // state == "complete" with the final totals even for sub-cadence runs.
+    status->pass_ordinal = pass_ordinal;
+    status->writer.write(status->snapshot("complete"));
   }
   return result;
 }

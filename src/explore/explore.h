@@ -264,6 +264,17 @@ struct ExploreOptions {
   /// checkpoints, leaving the checkpoint artifact as the only durable
   /// output — a deterministic stand-in for SIGKILL.  0 never halts.
   std::uint64_t halt_after_checkpoints = 0;
+  /// When non-empty, explore() periodically publishes a `bss-status v1`
+  /// heartbeat here (atomically: tmp file + rename) — live progress,
+  /// throughput, per-worker state, checkpoint age; see src/obs/status.h.
+  /// Empty resolves through the BSS_STATUS environment variable.  Like the
+  /// telemetry sink, the heartbeat is passive: every field outside its
+  /// `timing`/`profile` sections derives from the deterministic counters,
+  /// and results are byte-identical with status on or off.
+  std::string status_path;
+  /// Heartbeat cadence in milliseconds.  0 — the default — resolves through
+  /// BSS_STATUS_EVERY_MS when set and to 1000 otherwise.
+  std::uint64_t status_every_ms = 0;
   /// Soundness audit (src/audit): attach an access-ledger auditor to every
   /// run — flagging unsynchronized register access, wrong-process access and
   /// declared-footprint violations — and differentially cross-check the POR

@@ -34,6 +34,9 @@ void Telemetry::record_span(Span span) {
 void Telemetry::report(ReportBuilder& builder) {
   if (options_.metrics) builder.metrics(metrics_.snapshot());
   if (options_.events) builder.events(events_.emitted(), events_.dropped());
+  if (options_.profile && profiler_.has_data()) {
+    builder.profile(profiler_.to_json());
+  }
   last_report_ = builder.to_json();
   if (!options_.report_path.empty()) {
     write_file(options_.report_path, last_report_);

@@ -13,6 +13,7 @@
 
 #include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/runreport.h"
 #include "obs/timeline.h"
 
@@ -45,6 +46,11 @@ class ObsSink {
   /// (metrics, event counts, timing) and disposes of the document —
   /// Telemetry writes report/trace files when paths are configured.
   virtual void report(ReportBuilder& builder) = 0;
+
+  /// The phase profiler to accumulate into, or nullptr when phase timing
+  /// is off — ScopedPhase on nullptr is fully inert, so instrumented code
+  /// pays one pointer test.
+  virtual PhaseProfiler* profiler() { return nullptr; }
 };
 
 /// The standard sink: metrics + events + timeline, each independently
@@ -55,6 +61,9 @@ class Telemetry final : public ObsSink {
     bool metrics = true;
     bool events = true;
     bool timeline = false;
+    /// Accumulate per-phase wall time and emit it as the runreport's
+    /// `profile` section (quarantined alongside `timing`).
+    bool profile = false;
     std::size_t event_capacity = std::size_t{1} << 16;
     /// When non-empty, report() writes the bss-runreport v1 document here.
     std::string report_path;
@@ -73,6 +82,9 @@ class Telemetry final : public ObsSink {
   std::uint64_t now_ns() const override;
   void record_span(Span span) override;
   void report(ReportBuilder& builder) override;
+  PhaseProfiler* profiler() override {
+    return options_.profile ? &profiler_ : nullptr;
+  }
 
   const Options& options() const { return options_; }
   MetricsSnapshot metrics_snapshot() const;
@@ -86,6 +98,7 @@ class Telemetry final : public ObsSink {
   MetricsRegistry metrics_;
   EventLog events_;
   Timeline timeline_;
+  PhaseProfiler profiler_;
   std::string last_report_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/profile.h"
 #include "util/checked.h"
 
 namespace bss::obs {
@@ -69,6 +70,10 @@ void ReportBuilder::events(std::uint64_t emitted, std::uint64_t dropped) {
       {"emitted", json::Value(emitted)},
       {"dropped", json::Value(dropped)},
   };
+}
+
+void ReportBuilder::profile(json::Object table) {
+  root_["profile"] = json::Value(std::move(table));
 }
 
 void ReportBuilder::timing(const std::string& key, json::Value value) {
@@ -180,6 +185,7 @@ std::vector<std::string> validate_runreport(std::string_view text) {
       {"rows", json::Kind::kArray, false},
       {"metrics", json::Kind::kObject, false},
       {"events", json::Kind::kObject, false},
+      {"profile", json::Kind::kObject, false},
       {"timing", json::Kind::kObject, false},
   };
   for (const KnownKey& known : kKnown) {
@@ -249,6 +255,40 @@ std::vector<std::string> validate_runreport(std::string_view text) {
             stats->as_object().end()) {
           errors.push_back("service stats present but missing \"" +
                            std::string(required) + "\"");
+        }
+      }
+    }
+  }
+  if (const json::Value* profile = value->find("profile");
+      profile != nullptr && profile->is_object()) {
+    // The profile section is keyed by the closed phase set (obs/profile.h):
+    // an unknown phase name is schema drift, and each cell is exactly the
+    // {calls, ns} pair the profiler emits.
+    for (const auto& [name, cell] : profile->as_object()) {
+      if (!is_phase_name(name)) {
+        errors.push_back("unknown profile phase \"" + name +
+                         "\" (not in the closed phase set)");
+        continue;
+      }
+      if (!cell.is_object()) {
+        errors.push_back("profile phase \"" + name + "\" is not an object");
+        continue;
+      }
+      const json::Object& fields = cell.as_object();
+      for (const std::string_view field : {"calls", "ns"}) {
+        const auto it = fields.find(std::string(field));
+        if (it == fields.end() || !it->second.is_int() ||
+            it->second.as_int() < 0) {
+          errors.push_back("profile phase \"" + name + "\" field \"" +
+                           std::string(field) +
+                           "\" is missing or not a non-negative integer");
+        }
+      }
+      for (const auto& [field, member] : fields) {
+        (void)member;
+        if (field != "calls" && field != "ns") {
+          errors.push_back("profile phase \"" + name +
+                           "\" has unknown field \"" + field + "\"");
         }
       }
     }

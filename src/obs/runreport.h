@@ -18,11 +18,14 @@
 //     "rows": [ { … }, … ],              // bench table rows, one object each
 //     "metrics": { counters/gauges/histograms },   // MetricsSnapshot
 //     "events": { "emitted": N, "dropped": N },
+//     "profile": { "<phase>": {"calls": N, "ns": N}, … },  // PhaseProfiler
 //     "timing": { "wall_seconds": … }    // wall-clock channel, quarantined
 //   }
 //
-// Everything outside "timing" is the deterministic channel; "timing" is the
-// only place wall-clock may appear.  Consumers must reject documents whose
+// Everything outside "timing" and "profile" is the deterministic channel;
+// those two sections are the only places wall-clock may appear ("profile"
+// carries the phase self-profiler's accumulated nanoseconds, keyed by the
+// closed phase set in obs/profile.h).  Consumers must reject documents whose
 // schema line is missing or names a version they do not understand —
 // exactly the `bss-counterexample v2` policy — and the CI gate
 // (tools/report_check) additionally rejects unknown top-level keys so
@@ -57,7 +60,10 @@ class ReportBuilder {
   void row(json::Object row);
   void metrics(const MetricsSnapshot& snapshot);
   void events(std::uint64_t emitted, std::uint64_t dropped);
-  /// Wall-clock channel — the ONLY nondeterministic data in the document.
+  /// Phase wall-time table (PhaseProfiler::to_json()) — quarantined like
+  /// timing().
+  void profile(json::Object table);
+  /// Wall-clock channel — nondeterministic, like profile().
   void timing(const std::string& key, json::Value value);
 
   json::Value build() const;

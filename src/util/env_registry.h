@@ -29,7 +29,11 @@ namespace bss::env {
   X(BSS_EXPLORE_FP,                                                          \
     "force-enable fingerprint pruning (read per explore() call)")            \
   X(BSS_EXPLORE_JOBS,                                                        \
-    "default worker count for explore() calls that leave jobs unset")
+    "default worker count for explore() calls that leave jobs unset")        \
+  X(BSS_STATUS,                                                              \
+    "default bss-status v1 heartbeat path when status_path is unset")        \
+  X(BSS_STATUS_EVERY_MS,                                                     \
+    "heartbeat cadence in milliseconds when status_every_ms is unset")
 
 /// One registered knob: the variable's exact name and its documentation.
 struct EnvVar {

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -19,6 +20,7 @@
 #include "explore/election_systems.h"
 #include "explore/explore.h"
 #include "obs/obs.h"
+#include "obs/status.h"
 #include "util/checked.h"
 
 namespace bss::obs {
@@ -611,6 +613,332 @@ TEST(RunReportCorpus, EveryCorpusFileParsesOrRejectsWithoutCrashing) {
     }
   }
   EXPECT_GE(seen, 4u) << "corpus dir unexpectedly empty: " << dir;
+}
+
+// ------------------------------------------------------------ bss-status v1
+
+Status sample_status() {
+  Status status;
+  status.producer = "test";
+  status.system = "one_shot[k=4,n=2]";
+  status.seq = 7;
+  status.state = "running";
+  status.schedules = 1000;
+  status.violations = 1;
+  status.frontier = 12;
+  status.fingerprint_prunes = 250;
+  status.fingerprint_hit_rate_ppm = 200'000;
+  status.checkpoints = 2;
+  status.max_schedules = 5000;
+  status.passes = 1;
+  status.jobs = 4;
+  WorkerStatus worker;
+  worker.worker = 0;
+  worker.state = "stealing";
+  worker.steals = 3;
+  worker.schedules = 500;
+  status.workers.push_back(worker);
+  return status;
+}
+
+TEST(StatusArtifact, TypedRoundTripIsAByteFixedPoint) {
+  const std::string text = sample_status().to_json();
+  EXPECT_TRUE(validate_status(text).empty());
+  std::string error;
+  const auto parsed = Status::from_artifact(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->to_json(), text);
+  EXPECT_EQ(parsed->seq, 7u);
+  EXPECT_EQ(parsed->fingerprint_hit_rate_ppm, 200'000u);
+  ASSERT_EQ(parsed->workers.size(), 1u);
+  EXPECT_EQ(parsed->workers[0].state, "stealing");
+  EXPECT_EQ(parsed->workers[0].steals, 3u);
+}
+
+TEST(StatusArtifact, EmptySectionsAreOmittedNotEmitted) {
+  // Absent ⟺ empty: an empty system / workers / profile / timing section
+  // never appears in the document, so the round trip stays a fixed point.
+  Status status = sample_status();
+  status.system.clear();
+  status.workers.clear();
+  const std::string text = status.to_json();
+  EXPECT_EQ(text.find("\"system\""), std::string::npos);
+  EXPECT_EQ(text.find("\"workers\""), std::string::npos);
+  EXPECT_TRUE(validate_status(text).empty());
+  // And the validator enforces the other direction: present-but-empty
+  // sections are schema findings, not style.
+  auto root = json::Value::parse(sample_status().to_json())->as_object();
+  root["workers"] = json::Value(json::Array{});
+  root["profile"] = json::Value(json::Object{});
+  const auto errors = validate_status(json::Value(root).dump(1));
+  EXPECT_EQ(errors.size(), 2u);
+}
+
+TEST(StatusArtifact, ValidatorRejectsBadStates) {
+  auto root = json::Value::parse(sample_status().to_json())->as_object();
+  root["state"] = json::Value("paused");
+  EXPECT_FALSE(validate_status(json::Value(root).dump(1)).empty());
+  root = json::Value::parse(sample_status().to_json())->as_object();
+  root["workers"].as_array()[0].as_object()["state"] =
+      json::Value("moonlighting");
+  EXPECT_FALSE(validate_status(json::Value(root).dump(1)).empty());
+}
+
+TEST(StatusArtifact, ValidatorRejectsUnknownKeys) {
+  auto root = json::Value::parse(sample_status().to_json())->as_object();
+  root.emplace("surprise", 1);
+  auto errors = validate_status(json::Value(root).dump(1));
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("unknown"), std::string::npos) << errors[0];
+  root = json::Value::parse(sample_status().to_json())->as_object();
+  root["progress"].as_object().emplace("futures", 7);
+  EXPECT_FALSE(validate_status(json::Value(root).dump(1)).empty());
+}
+
+TEST(StatusArtifact, ValidatorRejectsHitRateAboveOneMillion) {
+  auto root = json::Value::parse(sample_status().to_json())->as_object();
+  root["progress"].as_object()["fingerprint_hit_rate_ppm"] =
+      json::Value(std::uint64_t{1'000'001});
+  EXPECT_FALSE(validate_status(json::Value(root).dump(1)).empty());
+}
+
+TEST(StatusArtifact, ValidatorRejectsNegativeTimingFields) {
+  auto root = json::Value::parse(sample_status().to_json())->as_object();
+  json::Object timing;
+  timing.emplace("checkpoint_age_ms", -250);
+  timing.emplace("schedules_per_second", -42.5);
+  root.emplace("timing", json::Value(std::move(timing)));
+  EXPECT_EQ(validate_status(json::Value(root).dump(1)).size(), 2u);
+}
+
+// ---------------------------------------------------------- status writer
+
+std::string temp_status_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(StatusWriterTest, DisabledWriterIsANoOp) {
+  // No path anywhere (ctest runs with BSS_STATUS unset): every method is
+  // inert, so the explore() call sites need no enabled() guards.
+  StatusWriter writer;
+  EXPECT_FALSE(writer.enabled());
+  EXPECT_FALSE(writer.due());
+  EXPECT_FALSE(writer.write(sample_status()));
+}
+
+TEST(StatusWriterTest, PublishesSequencedValidatedSnapshots) {
+  const std::string path = temp_status_path("bss_status_writer_test.json");
+  StatusWriter writer(path, /*every_ms=*/1);
+  writer.note_checkpoint();
+  ASSERT_TRUE(writer.write(sample_status()));
+  Status final_status = sample_status();
+  final_status.state = "complete";
+  final_status.schedules = final_status.max_schedules / 2;
+  ASSERT_TRUE(writer.write(std::move(final_status)));
+
+  std::ifstream stream(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_TRUE(validate_status(text).empty());
+  const auto parsed = Status::from_artifact(text);
+  ASSERT_TRUE(parsed.has_value());
+  // The writer owns seq: caller-supplied values are overwritten 0, 1, …
+  EXPECT_EQ(parsed->seq, 1u);
+  EXPECT_EQ(parsed->state, "complete");
+  // A complete campaign that stopped below max_schedules must not
+  // advertise an ETA to a cap it never hit.
+  EXPECT_EQ(parsed->timing.find("eta_seconds"), parsed->timing.end());
+  EXPECT_NE(parsed->timing.find("elapsed_ms"), parsed->timing.end());
+  EXPECT_NE(parsed->timing.find("checkpoint_age_ms"), parsed->timing.end());
+  std::filesystem::remove(path);
+}
+
+TEST(StatusWriterTest, ResolvesPathAndCadenceFromEnvironment) {
+  const std::string path = temp_status_path("bss_status_env_test.json");
+  ASSERT_EQ(setenv("BSS_STATUS", path.c_str(), 1), 0);
+  ASSERT_EQ(setenv("BSS_STATUS_EVERY_MS", "250", 1), 0);
+  const StatusWriter from_env(std::string(), 0);
+  EXPECT_TRUE(from_env.enabled());
+  EXPECT_EQ(from_env.path(), path);
+  EXPECT_EQ(from_env.every_ms(), 250u);
+  // Explicit arguments beat the environment.
+  const StatusWriter explicit_writer("elsewhere.json", 50);
+  EXPECT_EQ(explicit_writer.path(), "elsewhere.json");
+  EXPECT_EQ(explicit_writer.every_ms(), 50u);
+  ASSERT_EQ(unsetenv("BSS_STATUS"), 0);
+  ASSERT_EQ(unsetenv("BSS_STATUS_EVERY_MS"), 0);
+  const StatusWriter disabled(std::string(), 0);
+  EXPECT_FALSE(disabled.enabled());
+}
+
+// ---------------------------------------------------------- phase profiler
+
+TEST(PhaseProfilerTest, InertWithoutASink) {
+  // The passivity contract's cheap half: a null profiler means ScopedPhase
+  // is two pointer writes and zero clock reads, and the default Telemetry
+  // sink hands explore() exactly that null.
+  const ScopedPhase inert(nullptr, Phase::kStep);
+  Telemetry telemetry;
+  EXPECT_EQ(telemetry.profiler(), nullptr);
+  Telemetry::Options options;
+  options.profile = true;
+  Telemetry profiling(options);
+  EXPECT_NE(profiling.profiler(), nullptr);
+}
+
+TEST(PhaseProfilerTest, AccumulatesPerPhaseCallsAndTime) {
+  PhaseProfiler profiler;
+  EXPECT_FALSE(profiler.has_data());
+  { const ScopedPhase scope(&profiler, Phase::kMerge); }
+  { const ScopedPhase scope(&profiler, Phase::kMerge); }
+  { const ScopedPhase scope(&profiler, Phase::kStep); }
+  EXPECT_TRUE(profiler.has_data());
+  EXPECT_EQ(profiler.calls(Phase::kMerge), 2u);
+  EXPECT_EQ(profiler.calls(Phase::kStep), 1u);
+  EXPECT_EQ(profiler.calls(Phase::kDdmin), 0u);
+  const json::Object table = profiler.to_json();
+  ASSERT_EQ(table.size(), 2u);  // only phases with calls > 0
+  for (const auto& [name, cell] : table) {
+    EXPECT_TRUE(is_phase_name(name)) << name;
+    EXPECT_GE(cell.as_object().at("calls").as_int(), 1);
+  }
+}
+
+TEST(ObsReport, ProfileSectionValidatesWhenEnabled) {
+  OneShotSystem system(4, 2, OneShotMutant::kSplitCas);
+  Telemetry::Options sink_options;
+  sink_options.profile = true;
+  Telemetry telemetry(sink_options);
+  ExploreOptions options;
+  options.telemetry = &telemetry;
+  (void)explore::explore(system, options);
+  ASSERT_FALSE(telemetry.last_report().empty());
+  const auto errors = validate_runreport(telemetry.last_report());
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors[0]);
+  const auto root = json::Value::parse(telemetry.last_report());
+  ASSERT_TRUE(root.has_value());
+  const json::Value* profile = root->find("profile");
+  ASSERT_NE(profile, nullptr);
+  // This run steps schedules and minimizes a counterexample, so both
+  // phases must have accumulated intervals.
+  EXPECT_NE(profile->find("step"), nullptr);
+  EXPECT_NE(profile->find("ddmin"), nullptr);
+}
+
+// ------------------------------------------------------- status passivity
+
+/// Explores `system` with the heartbeat off (reference), then with a
+/// 0 ms-cadence heartbeat (every pass boundary writes) serial and at
+/// jobs=4 under the stealing engine — results must stay byte-identical,
+/// and every published snapshot must be schema-clean.
+void expect_status_passive(const ExplorableSystem& system,
+                           ExploreOptions options) {
+  options.jobs = 1;
+  const ExploreResult reference = explore::explore(system, options);
+  const std::string path = temp_status_path("bss_status_passivity.json");
+  for (const int jobs : {1, 4}) {
+    ExploreOptions instrumented = options;
+    instrumented.jobs = jobs;
+    instrumented.status_path = path;
+    instrumented.status_every_ms = 1;
+    expect_identical(reference, explore::explore(system, instrumented),
+                     system.name() + " status jobs=" + std::to_string(jobs));
+    std::ifstream stream(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << stream.rdbuf();
+    const auto errors = validate_status(buffer.str());
+    EXPECT_TRUE(errors.empty())
+        << system.name() << " jobs=" << jobs << ": "
+        << (errors.empty() ? "" : errors[0]);
+    const auto parsed = Status::from_artifact(buffer.str());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->state, "complete");
+    EXPECT_EQ(parsed->schedules, reference.stats.schedules);
+    EXPECT_EQ(parsed->violations, reference.violations.size());
+    EXPECT_EQ(parsed->jobs, static_cast<std::uint64_t>(jobs));
+    std::filesystem::remove(path);
+  }
+}
+
+TEST(StatusPassivity, CleanOneShotExhaustiveSweep) {
+  expect_status_passive(OneShotSystem(4, 2), {});
+}
+
+TEST(StatusPassivity, ClaimAfterCasMutant) {
+  expect_status_passive(OneShotSystem(4, 3, OneShotMutant::kClaimAfterCas),
+                        {});
+}
+
+TEST(StatusPassivity, SplitCasMutantWithFingerprintPrune) {
+  // Fingerprint pruning feeds the hit-rate field; status must not perturb
+  // the prune sequence either.
+  ExploreOptions options;
+  options.fingerprint_prune = true;
+  expect_status_passive(OneShotSystem(4, 2, OneShotMutant::kSplitCas),
+                        options);
+}
+
+TEST(StatusPassivity, ScBlindLlScMutantWithFingerprintPrune) {
+  ExploreOptions options;
+  options.fingerprint_prune = true;
+  expect_status_passive(LlScSystem(3, 2, /*sc_blind=*/true), options);
+}
+
+TEST(StatusPassivity, FaultSweepWithStatusAndProfiler) {
+  // The full observer stack at once: heartbeat + profiling telemetry over
+  // a crash-restart fault sweep.
+  OneShotSystem system(4, 2, OneShotMutant::kNone, /*restartable=*/true);
+  ExploreOptions options;
+  options.fault_bound = 1;
+  options.iterative = true;
+  const ExploreResult reference = explore::explore(system, options);
+  const std::string path = temp_status_path("bss_status_profiled.json");
+  Telemetry::Options sink_options;
+  sink_options.profile = true;
+  Telemetry telemetry(sink_options);
+  ExploreOptions instrumented = options;
+  instrumented.jobs = 4;
+  instrumented.telemetry = &telemetry;
+  instrumented.status_path = path;
+  instrumented.status_every_ms = 1;
+  expect_identical(reference, explore::explore(system, instrumented),
+                   "status+profile fault sweep");
+  std::ifstream stream(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  EXPECT_TRUE(validate_status(buffer.str()).empty());
+  const auto parsed = Status::from_artifact(buffer.str());
+  ASSERT_TRUE(parsed.has_value());
+  // The profiler table is mirrored into the heartbeat's profile section.
+  EXPECT_FALSE(parsed->profile.empty());
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------- status fuzz corpus
+
+TEST(StatusCorpus, EveryCorpusFileHoldsTheFuzzOracles) {
+  const std::string dir = std::string(BSS_FUZZ_CORPUS_DIR) + "/status";
+  std::size_t seen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    ++seen;
+    std::ifstream stream(entry.path(), std::ios::binary);
+    std::ostringstream buffer;
+    buffer << stream.rdbuf();
+    const std::string text = buffer.str();
+    // Validator/parse agreement, both directions (the fuzz_status oracle).
+    const auto status = Status::from_artifact(text);
+    EXPECT_EQ(validate_status(text).empty(), status.has_value())
+        << entry.path();
+    // Canonical-JSON fixed point when the text is JSON at all.
+    if (const auto value = json::Value::parse(text); value.has_value()) {
+      const auto again = json::Value::parse(value->dump());
+      ASSERT_TRUE(again.has_value()) << entry.path();
+      EXPECT_TRUE(*again == *value) << entry.path();
+    }
+  }
+  EXPECT_GE(seen, 8u) << "corpus dir unexpectedly thin: " << dir;
 }
 
 }  // namespace

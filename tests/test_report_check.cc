@@ -114,6 +114,41 @@ TEST(ReportCheck, UnknownArtifactSniffsFail) {
   EXPECT_EQ(run_report_check(garbage), 1);
 }
 
+TEST(ReportCheck, ValidStatusHeartbeatsPass) {
+  EXPECT_EQ(run_report_check(corpus("status/minimal.json")), 0);
+  // Real snapshots captured from a jobs=4 campaign and a soak run: workers,
+  // profile, and timing sections all populated.
+  EXPECT_EQ(run_report_check(corpus("status/explore_midrun.json")), 0);
+  EXPECT_EQ(run_report_check(corpus("status/soak_complete.json")), 0);
+  // Dispatch is per file: a heartbeat and a runreport in one invocation.
+  EXPECT_EQ(run_report_check(corpus("status/minimal.json") + " " +
+                             corpus("runreport/minimal.json")),
+            0);
+}
+
+TEST(ReportCheck, TruncatedStatusFails) {
+  EXPECT_EQ(run_report_check(corpus("status/truncated.json")), 1);
+}
+
+TEST(ReportCheck, NegativeStatusRateFails) {
+  // schedules/s below zero is a producer bug, not noise — bss_top would
+  // render it as a countdown.
+  EXPECT_EQ(run_report_check(corpus("status/negative_rate.json")), 1);
+}
+
+TEST(ReportCheck, UnknownStatusKeysFail) {
+  // Extra top-level and progress keys both trip the closed-schema check.
+  EXPECT_EQ(run_report_check(corpus("status/unknown_key.json")), 1);
+  // States outside running/complete (and worker states outside
+  // running/stealing/idle) are rejected rather than rendered verbatim.
+  EXPECT_EQ(run_report_check(corpus("status/bad_state.json")), 1);
+}
+
+TEST(ReportCheck, StaleStatusAgeLieFails) {
+  // A negative checkpoint_age_ms claims the checkpoint is from the future.
+  EXPECT_EQ(run_report_check(corpus("status/stale_age.json")), 1);
+}
+
 TEST(ReportCheck, OneBadFileFailsTheWholeInvocation) {
   EXPECT_EQ(run_report_check(corpus("runreport/minimal.json") + " " +
                              corpus("runreport/truncated.json")),

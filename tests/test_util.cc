@@ -253,5 +253,12 @@ TEST(EnvRegistry, LookupMatchesTheTable) {
   EXPECT_FALSE(env::is_registered_env(""));
 }
 
+TEST(EnvRegistry, StatusKnobsAreRegistered) {
+  // The live-heartbeat knobs read by obs::StatusWriter; dropping a row here
+  // would make bss_lint's env-registry rule flag the getenv call.
+  EXPECT_TRUE(env::is_registered_env("BSS_STATUS"));
+  EXPECT_TRUE(env::is_registered_env("BSS_STATUS_EVERY_MS"));
+}
+
 }  // namespace
 }  // namespace bss

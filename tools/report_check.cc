@@ -1,34 +1,103 @@
-// report_check — the CI gate for `bss-runreport v1` and `bss-checkpoint v1`
-// artifacts.
+// report_check — the CI gate for `bss-runreport v1`, `bss-checkpoint v1`
+// and `bss-status v1` artifacts.
 //
 // Validates every file named on the command line, dispatching on the
-// document's own schema string: runreports go through the runreport
-// validator, checkpoints through the checkpoint validator (full structural
-// validation — frontier frames, pid token ranges, embedded counterexamples).
-// Parse failure, a missing or unknown schema version, unknown top-level keys
-// (schema drift must bump the version, not fork the format) and wrong-typed
-// known keys are each reported with the file name, and any finding fails the
-// whole invocation.  Prints one OK line per clean file so the CI log shows
-// what was actually checked.
+// document's own schema string through ONE gate table: checkpoints go
+// through the checkpoint validator (full structural validation — frontier
+// frames, pid token ranges, embedded counterexamples), status heartbeats
+// through the status validator (closed counter set, worker/profile/timing
+// sections), and everything else — including documents whose schema line
+// is missing or unreadable — through the runreport validator, whose
+// diagnostics cover the missing/unknown-schema cases.  Parse failure, a
+// missing or unknown schema version, unknown top-level keys (schema drift
+// must bump the version, not fork the format) and wrong-typed known keys
+// are each reported with the file name, and any finding fails the whole
+// invocation.  Prints one OK line per clean file so the CI log shows what
+// was actually checked.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "explore/checkpoint.h"
 #include "obs/json.h"
 #include "obs/runreport.h"
+#include "obs/status.h"
 
 namespace {
 
-/// The document's own schema string ("" when unreadable — the per-schema
+/// The document's own schema string ("" when unreadable — the fallback
 /// validator will produce the real diagnostic).
 std::string sniff_schema(const std::string& text) {
   const auto value = bss::obs::json::Value::parse(text);
   if (!value.has_value() || !value->is_object()) return "";
   const bss::obs::json::Value* schema = value->find("schema");
   return schema != nullptr && schema->is_string() ? schema->as_string() : "";
+}
+
+std::string checkpoint_ok_line(const std::string& text) {
+  const auto checkpoint = bss::explore::Checkpoint::from_artifact(text);
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "%s for %s, seq %llu, %s, %zu frontier units",
+                std::string(bss::explore::kCheckpointSchema).c_str(),
+                checkpoint->system.c_str(),
+                static_cast<unsigned long long>(checkpoint->seq),
+                checkpoint->complete ? "complete" : "in progress",
+                checkpoint->frontier.size());
+  return line;
+}
+
+std::string status_ok_line(const std::string& text) {
+  const auto status = bss::obs::Status::from_artifact(text);
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "%s from %s, seq %llu, %s, %llu schedules",
+                std::string(bss::obs::kStatusSchema).c_str(),
+                status->producer.c_str(),
+                static_cast<unsigned long long>(status->seq),
+                status->state.c_str(),
+                static_cast<unsigned long long>(status->schedules));
+  return line;
+}
+
+std::string runreport_ok_line(const std::string& text) {
+  const auto report = bss::obs::RunReport::parse(text);
+  char line[160];
+  std::snprintf(line, sizeof(line), "%s from %s, %zu rows",
+                report->kind().c_str(), report->producer().c_str(),
+                report->rows() ? report->rows()->size() : std::size_t{0});
+  return line;
+}
+
+/// One schema the gate understands: the sniffed schema string it claims,
+/// the validator producing the error list, and the OK-line renderer (only
+/// called after the validator returned clean, so the typed parse cannot
+/// fail).  The runreport entry doubles as the fallback for unknown or
+/// missing schema strings — its validator owns those diagnostics.
+struct SchemaGate {
+  std::string_view schema;
+  std::vector<std::string> (*validate)(std::string_view);
+  std::string (*ok_line)(const std::string&);
+};
+
+constexpr SchemaGate kGates[] = {
+    {bss::explore::kCheckpointSchema, bss::explore::validate_checkpoint,
+     checkpoint_ok_line},
+    {bss::obs::kStatusSchema, bss::obs::validate_status, status_ok_line},
+    // Fallback entry — must stay last; dispatch stops at the first match
+    // and an empty schema string matches nothing above.
+    {bss::obs::kRunReportSchema, bss::obs::validate_runreport,
+     runreport_ok_line},
+};
+
+const SchemaGate& gate_for(const std::string& schema) {
+  for (const SchemaGate& gate : kGates) {
+    if (gate.schema == schema) return gate;
+  }
+  return kGates[sizeof(kGates) / sizeof(kGates[0]) - 1];
 }
 
 bool check_file(const std::string& path) {
@@ -41,33 +110,13 @@ bool check_file(const std::string& path) {
   buffer << in.rdbuf();
   const std::string text = buffer.str();
 
-  if (sniff_schema(text) == bss::explore::kCheckpointSchema) {
-    const std::vector<std::string> errors =
-        bss::explore::validate_checkpoint(text);
-    for (const std::string& error : errors) {
-      std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
-    }
-    if (!errors.empty()) return false;
-    const auto checkpoint = bss::explore::Checkpoint::from_artifact(text);
-    std::printf("%s: OK (%s for %s, seq %llu, %s, %zu frontier units)\n",
-                path.c_str(),
-                std::string(bss::explore::kCheckpointSchema).c_str(),
-                checkpoint->system.c_str(),
-                static_cast<unsigned long long>(checkpoint->seq),
-                checkpoint->complete ? "complete" : "in progress",
-                checkpoint->frontier.size());
-    return true;
-  }
-
-  const std::vector<std::string> errors = bss::obs::validate_runreport(text);
+  const SchemaGate& gate = gate_for(sniff_schema(text));
+  const std::vector<std::string> errors = gate.validate(text);
   for (const std::string& error : errors) {
     std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
   }
   if (!errors.empty()) return false;
-  const auto report = bss::obs::RunReport::parse(text);
-  std::printf("%s: OK (%s from %s, %zu rows)\n", path.c_str(),
-              report->kind().c_str(), report->producer().c_str(),
-              report->rows() ? report->rows()->size() : 0);
+  std::printf("%s: OK (%s)\n", path.c_str(), gate.ok_line(text).c_str());
   return true;
 }
 
@@ -77,9 +126,9 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s REPORT.json [REPORT.json ...]\n"
-                 "validates bss-runreport v1 and bss-checkpoint v1 "
-                 "artifacts (dispatching on the schema string); any schema "
-                 "error fails the run\n",
+                 "validates bss-runreport v1, bss-checkpoint v1 and "
+                 "bss-status v1 artifacts (dispatching on the schema "
+                 "string); any schema error fails the run\n",
                  argv[0]);
     return 2;
   }
